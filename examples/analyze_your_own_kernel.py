@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Apply the control-data analysis to your own MiniC kernel.
+
+The paper's pitch to designers is that only a small, identifiable slice of
+an error-tolerant application needs reliable hardware.  This example shows
+how to measure that slice for arbitrary code: it compiles a user-provided
+MiniC kernel (here: fixed-point FIR filtering plus a peak detector), prints
+the annotated assembly listing with the low-reliability tags, and reports
+the static and dynamic protected/unprotected split.
+"""
+
+from repro.compiler.minic import compile_source
+from repro.compiler.passes import build_cfg, tag_control_data
+from repro.sim import Machine
+
+SOURCE = """
+int samples[512];
+int filtered[512];
+int taps[8];
+int n_samples;
+int peak_index;
+
+tolerant void fir(int n, int order) {
+    for (int i = order; i < n; i = i + 1) {
+        int acc = 0;
+        for (int k = 0; k < order; k = k + 1) {
+            acc = acc + samples[i - k] * taps[k];
+        }
+        filtered[i] = acc >> 8;
+    }
+}
+
+tolerant void find_peak(int n) {
+    int best = -2147483647;
+    peak_index = 0;
+    for (int i = 0; i < n; i = i + 1) {
+        if (filtered[i] > best) {
+            best = filtered[i];
+            peak_index = i;
+        }
+    }
+}
+
+reliable int main() {
+    fir(n_samples, 8);
+    find_peak(n_samples);
+    out(peak_index);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    program = compile_source(SOURCE)
+    report = tag_control_data(program)
+    cfg = build_cfg(program)
+
+    print("== annotated assembly (low-reliability instructions marked) ==")
+    print(program.listing())
+
+    print("\n== static analysis summary ==")
+    print(report.summary())
+    print(f"basic blocks: {len(cfg.blocks)}")
+
+    machine = Machine(program)
+    machine.write_global("samples", [((i * 37) % 97) - 48 for i in range(256)])
+    machine.write_global("taps", [3, -1, 4, -1, 5, -9, 2, 6])
+    machine.write_global("n_samples", [256])
+    result = machine.run()
+
+    stats = result.statistics
+    print("\n== dynamic split on a sample input ==")
+    print(f"dynamic instructions : {stats.total}")
+    print(f"low reliability      : {stats.tagged} ({100 * stats.tagged_fraction:.1f}%)")
+    print(f"must stay reliable   : {stats.total - stats.tagged}")
+    print(f"detected peak index  : {int(result.output(0)[0])}")
+    print("\nThe FIR arithmetic is almost entirely tagged, while the peak "
+          "detector's comparisons (control) stay protected — the same split "
+          "the paper reports for its benchmark suite.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro: reproduction of "Characterization of Error-Tolerant Applications
+when Protecting Control Data" (Thaker et al., IISWC 2006).
+
+The package is organised as:
+
+* :mod:`repro.isa` — the MIPS-like virtual instruction set;
+* :mod:`repro.assembler` — programmatic builder and text assembler;
+* :mod:`repro.compiler` — the MiniC compiler and the control-data tagging
+  static analysis (the paper's contribution);
+* :mod:`repro.sim` — the functional simulator and soft-error injector;
+* :mod:`repro.core` — protection configurations, fault-injection campaigns,
+  outcome classification and reporting;
+* :mod:`repro.fidelity` — application fidelity measures (Table 1);
+* :mod:`repro.apps` — the seven benchmark applications;
+* :mod:`repro.workloads` — synthetic workload generators;
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from .compiler import compile_source, tag_control_data
+from .sim import Machine, Outcome, ProtectionMode, run_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "Outcome",
+    "ProtectionMode",
+    "compile_source",
+    "run_program",
+    "tag_control_data",
+    "__version__",
+]

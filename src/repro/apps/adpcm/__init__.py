@@ -1,0 +1,5 @@
+"""adpcm benchmark application."""
+
+from .app import AdpcmApp
+
+__all__ = ["AdpcmApp"]

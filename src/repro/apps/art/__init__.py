@@ -1,0 +1,5 @@
+"""art benchmark application."""
+
+from .app import ArtApp
+
+__all__ = ["ArtApp"]

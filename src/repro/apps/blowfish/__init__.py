@@ -1,0 +1,5 @@
+"""blowfish benchmark application."""
+
+from .app import BlowfishApp
+
+__all__ = ["BlowfishApp"]

@@ -1,0 +1,236 @@
+"""Blowfish benchmark: symmetric block cipher encrypt + decrypt.
+
+Implements the full Blowfish structure — 18-entry P-array, four 256-entry
+S-boxes, 16 Feistel rounds, and the expensive key schedule that re-encrypts
+the evolving state 521 times — then encrypts an ASCII text and decrypts it
+again.  The fidelity measure is the percentage of plaintext bytes recovered
+exactly (the paper's "% bytes correct from original").
+
+Substitution note: the canonical initial P/S constants are the hexadecimal
+digits of pi; we fill them from a deterministic 32-bit LCG instead.  The
+constants only need to be fixed, key-independent and shared by encrypt and
+decrypt, which the substitute preserves; the cipher structure and data flow
+are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ...core.app import ErrorTolerantApp
+from ...core.fidelity import FidelityMeasure, FidelityResult
+from ...fidelity import percent_matching
+from ...sim import Machine, RunResult
+from ...workloads import ascii_text, bytes_to_words, key_bytes, text_to_bytes, words_to_bytes
+from .reference import BlowfishReference
+
+#: Fidelity threshold: at least this fraction of plaintext bytes recovered.
+ACCEPTABLE_BYTES_PERCENT = 90.0
+#: Default key length in bytes (128-bit key).
+DEFAULT_KEY_BYTES = 16
+
+BLOWFISH_SOURCE = """
+// Blowfish block cipher: key schedule, ECB encrypt and decrypt.
+int P[18];
+int S[1024];
+int key[56];
+int key_len;
+int data_in[512];
+int data_enc[512];
+int data_out[512];
+int n_words;
+int block[2];
+
+tolerant int feistel(int x) {
+    int a = (x >> 24) & 255;
+    int b = (x >> 16) & 255;
+    int c = (x >> 8) & 255;
+    int d = x & 255;
+    int h = S[a] + S[256 + b];
+    h = h ^ S[512 + c];
+    h = h + S[768 + d];
+    return h;
+}
+
+tolerant void encrypt_block() {
+    int xl = block[0];
+    int xr = block[1];
+    for (int i = 0; i < 16; i = i + 1) {
+        xl = xl ^ P[i];
+        xr = feistel(xl) ^ xr;
+        int tmp = xl;
+        xl = xr;
+        xr = tmp;
+    }
+    int swap = xl;
+    xl = xr;
+    xr = swap;
+    xr = xr ^ P[16];
+    xl = xl ^ P[17];
+    block[0] = xl;
+    block[1] = xr;
+}
+
+tolerant void decrypt_block() {
+    int xl = block[0];
+    int xr = block[1];
+    for (int i = 17; i > 1; i = i - 1) {
+        xl = xl ^ P[i];
+        xr = feistel(xl) ^ xr;
+        int tmp = xl;
+        xl = xr;
+        xr = tmp;
+    }
+    int swap = xl;
+    xl = xr;
+    xr = swap;
+    xr = xr ^ P[1];
+    xl = xl ^ P[0];
+    block[0] = xl;
+    block[1] = xr;
+}
+
+reliable void key_schedule(int klen) {
+    // Mix the key into the P-array.
+    int pos = 0;
+    for (int i = 0; i < 18; i = i + 1) {
+        int word = 0;
+        for (int k = 0; k < 4; k = k + 1) {
+            word = (word << 8) | key[pos];
+            pos = pos + 1;
+            if (pos >= klen) {
+                pos = 0;
+            }
+        }
+        P[i] = P[i] ^ word;
+    }
+    // Re-encrypt the evolving state to fill P and the S-boxes.
+    block[0] = 0;
+    block[1] = 0;
+    for (int i = 0; i < 18; i = i + 2) {
+        encrypt_block();
+        P[i] = block[0];
+        P[i + 1] = block[1];
+    }
+    for (int j = 0; j < 1024; j = j + 2) {
+        encrypt_block();
+        S[j] = block[0];
+        S[j + 1] = block[1];
+    }
+}
+
+tolerant void encrypt_data(int nwords) {
+    for (int i = 0; i < nwords; i = i + 2) {
+        block[0] = data_in[i];
+        block[1] = data_in[i + 1];
+        encrypt_block();
+        data_enc[i] = block[0];
+        data_enc[i + 1] = block[1];
+    }
+}
+
+tolerant void decrypt_data(int nwords) {
+    for (int i = 0; i < nwords; i = i + 2) {
+        block[0] = data_enc[i];
+        block[1] = data_enc[i + 1];
+        decrypt_block();
+        data_out[i] = block[0];
+        data_out[i + 1] = block[1];
+    }
+}
+
+reliable int main() {
+    // The driver pre-expands the key schedule (see reference.py): on the
+    // paper's full-size input the schedule is a negligible fraction of the
+    // run, and pre-expanding keeps that balance at reduced workload sizes.
+    // Call key_schedule(key_len) here to run the expansion in-simulator.
+    encrypt_data(n_words);
+    decrypt_data(n_words);
+    return 0;
+}
+"""
+
+
+def initial_box_constants(count: int, seed: int = 0x243F6A88) -> List[int]:
+    """Deterministic substitute for the pi-digit initialisation constants."""
+    values: List[int] = []
+    state = seed & 0xFFFFFFFF
+    for _ in range(count):
+        # Numerical Recipes LCG: full-period, cheap, deterministic.
+        state = (1664525 * state + 1013904223) & 0xFFFFFFFF
+        value = state
+        if value & 0x80000000:
+            value -= 1 << 32
+        values.append(value)
+    return values
+
+
+class BlowfishApp(ErrorTolerantApp):
+    """Blowfish encrypt/decrypt round trip over ASCII text."""
+
+    name = "blowfish"
+    description = "Blowfish symmetric block cipher (encrypt then decrypt)"
+    default_error_sweep = (0, 2, 5, 10, 20, 40)
+
+    def __init__(self, text_bytes: int = 256, key_length: int = DEFAULT_KEY_BYTES) -> None:
+        super().__init__()
+        if text_bytes > 2040:
+            raise ValueError("Blowfish workload is limited to 2040 bytes of text")
+        self.text_bytes = text_bytes
+        self.key_length = key_length
+
+    def source(self) -> str:
+        return BLOWFISH_SOURCE
+
+    def fidelity_measure(self) -> FidelityMeasure:
+        return FidelityMeasure(
+            name="bytes correct",
+            unit="% of original bytes recovered",
+            higher_is_better=True,
+            threshold=ACCEPTABLE_BYTES_PERCENT,
+            threshold_description="at least 90% of plaintext bytes recovered",
+        )
+
+    def generate_workload(self, seed: int) -> Dict[str, Any]:
+        text = ascii_text(self.text_bytes, seed=seed)
+        data = text_to_bytes(text)
+        words = bytes_to_words(data)
+        if len(words) % 2:
+            words.append(0)
+        key = key_bytes(self.key_length, seed=seed)
+        cipher = BlowfishReference(initial_box_constants(18),
+                                   initial_box_constants(1024, seed=0x85A308D3), key)
+        return {
+            "text_bytes": data,
+            "words": words,
+            "key": key,
+            "expanded_p": cipher.expanded_p_signed(),
+            "expanded_s": cipher.expanded_s_signed(),
+        }
+
+    def apply_workload(self, machine: Machine, workload: Dict[str, Any]) -> None:
+        machine.write_global("P", workload["expanded_p"])
+        machine.write_global("S", workload["expanded_s"])
+        machine.write_global("key", workload["key"])
+        machine.write_global("key_len", [len(workload["key"])])
+        machine.write_global("data_in", workload["words"])
+        machine.write_global("n_words", [len(workload["words"])])
+
+    def read_output(self, result: RunResult, workload: Dict[str, Any]) -> List[int]:
+        words = [int(value) for value in result.memory.read_block(
+            result.program.data_address("data_out"), len(workload["words"]))]
+        return words_to_bytes(words, len(workload["text_bytes"]))
+
+    def score(self, reference: List[int], observed: List[int],
+              workload: Dict[str, Any]) -> FidelityResult:
+        # The paper compares the decrypted output against the *original*
+        # plaintext; the golden reference equals it when the cipher round
+        # trips correctly, which the unit tests assert.
+        original = workload["text_bytes"]
+        match = percent_matching(original, observed)
+        return FidelityResult(
+            score=match,
+            acceptable=match >= ACCEPTABLE_BYTES_PERCENT,
+            perfect=match >= 100.0,
+            detail={"percent_bytes_correct": match},
+        )

@@ -1,0 +1,5 @@
+"""gsm benchmark application."""
+
+from .app import GsmApp
+
+__all__ = ["GsmApp"]

@@ -1,0 +1,5 @@
+"""mcf benchmark application."""
+
+from .app import McfApp
+
+__all__ = ["McfApp"]

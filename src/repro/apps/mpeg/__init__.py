@@ -1,0 +1,5 @@
+"""mpeg benchmark application."""
+
+from .app import MpegApp
+
+__all__ = ["MpegApp"]

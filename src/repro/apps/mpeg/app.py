@@ -1,0 +1,292 @@
+"""MPEG benchmark: block-transform video encoder/decoder with I/P/B frames.
+
+The MiBench/mediabench MPEG-2 codec is replaced by a structurally faithful
+block codec: every frame is split into 8x8 blocks, predicted from the
+previously reconstructed reference frame (except I frames), transformed
+with an 8x8 DCT, quantised (progressively coarser for I, P and B frames),
+then immediately reconstructed through the decoder loop (dequantise, IDCT,
+add prediction) exactly as a closed-loop video encoder does.  I and P
+frames update the prediction reference; B frames do not.
+
+This preserves the paper's key structure: a frame-importance hierarchy
+(losing I-frame data hurts every later frame, losing B-frame data hurts
+only that frame) and a numerically dense, error-tolerant data path.
+
+Fidelity follows the paper: a decoded frame is *bad* when its SNR relative
+to the error-free decode drops by more than 2 dB (I), 4 dB (P) or 6 dB (B);
+the measure is the percentage of bad frames and the threshold is 10%.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List
+
+from ...core.app import ErrorTolerantApp
+from ...core.fidelity import FidelityMeasure, FidelityResult
+from ...fidelity import (
+    BAD_FRAME_THRESHOLD_PERCENT,
+    classify_frames,
+    percent_bad_frames,
+)
+from ...sim import Machine, RunResult
+from ...workloads import moving_scene
+
+#: Quantisation step per frame type (I, P, B).
+QUANT_STEPS = {0: 6.0, 1: 10.0, 2: 14.0}
+#: Frame type codes used in the MiniC program.
+FRAME_TYPE_CODES = {"I": 0, "P": 1, "B": 2}
+FRAME_TYPE_NAMES = {code: name for name, code in FRAME_TYPE_CODES.items()}
+
+MPEG_SOURCE = """
+// Block-DCT video codec with I/P/B frames (closed reconstruction loop).
+int frames_in[4096];
+int decoded[4096];
+int reference[1024];
+int bitstream[4096];
+int frame_type[32];
+float cos_table[64];
+float quant_steps[3];
+int n_frames;
+int frame_width;
+int frame_height;
+float cur_block[64];
+float coef_block[64];
+float tmp_block[64];
+
+tolerant void load_block(int frame, int bx, int by, int ftype) {
+    int width = frame_width;
+    int height = frame_height;
+    int fbase = frame * width * height;
+    for (int py = 0; py < 8; py = py + 1) {
+        for (int px = 0; px < 8; px = px + 1) {
+            int idx = (by * 8 + py) * width + bx * 8 + px;
+            int prediction = 0;
+            if (ftype != 0) {
+                prediction = reference[idx];
+            }
+            cur_block[py * 8 + px] = (float) (frames_in[fbase + idx] - prediction);
+        }
+    }
+}
+
+tolerant void dct8x8() {
+    for (int y = 0; y < 8; y = y + 1) {
+        for (int u = 0; u < 8; u = u + 1) {
+            float s = 0.0;
+            for (int x = 0; x < 8; x = x + 1) {
+                s = s + cur_block[y * 8 + x] * cos_table[u * 8 + x];
+            }
+            tmp_block[y * 8 + u] = s;
+        }
+    }
+    for (int u = 0; u < 8; u = u + 1) {
+        for (int v = 0; v < 8; v = v + 1) {
+            float s = 0.0;
+            for (int y = 0; y < 8; y = y + 1) {
+                s = s + tmp_block[y * 8 + u] * cos_table[v * 8 + y];
+            }
+            coef_block[v * 8 + u] = s;
+        }
+    }
+}
+
+tolerant void idct8x8() {
+    for (int v = 0; v < 8; v = v + 1) {
+        for (int y = 0; y < 8; y = y + 1) {
+            float s = 0.0;
+            for (int u = 0; u < 8; u = u + 1) {
+                s = s + coef_block[u * 8 + v] * cos_table[u * 8 + y];
+            }
+            tmp_block[y * 8 + v] = s;
+        }
+    }
+    for (int y = 0; y < 8; y = y + 1) {
+        for (int x = 0; x < 8; x = x + 1) {
+            float s = 0.0;
+            for (int v = 0; v < 8; v = v + 1) {
+                s = s + tmp_block[y * 8 + v] * cos_table[v * 8 + x];
+            }
+            cur_block[y * 8 + x] = s;
+        }
+    }
+}
+
+tolerant void quantise_block(int frame, int bx, int by, int ftype) {
+    int width = frame_width;
+    int height = frame_height;
+    int fbase = frame * width * height;
+    float qstep = quant_steps[ftype];
+    for (int py = 0; py < 8; py = py + 1) {
+        for (int px = 0; px < 8; px = px + 1) {
+            int idx = (by * 8 + py) * width + bx * 8 + px;
+            float coef = coef_block[py * 8 + px];
+            int level = (int) (coef / qstep);
+            bitstream[fbase + idx] = level;
+        }
+    }
+}
+
+tolerant void dequantise_block(int frame, int bx, int by, int ftype) {
+    int width = frame_width;
+    int height = frame_height;
+    int fbase = frame * width * height;
+    float qstep = quant_steps[ftype];
+    for (int py = 0; py < 8; py = py + 1) {
+        for (int px = 0; px < 8; px = px + 1) {
+            int idx = (by * 8 + py) * width + bx * 8 + px;
+            coef_block[py * 8 + px] = (float) bitstream[fbase + idx] * qstep;
+        }
+    }
+}
+
+tolerant void store_block(int frame, int bx, int by, int ftype) {
+    int width = frame_width;
+    int height = frame_height;
+    int fbase = frame * width * height;
+    for (int py = 0; py < 8; py = py + 1) {
+        for (int px = 0; px < 8; px = px + 1) {
+            int idx = (by * 8 + py) * width + bx * 8 + px;
+            int prediction = 0;
+            if (ftype != 0) {
+                prediction = reference[idx];
+            }
+            int value = (int) cur_block[py * 8 + px] + prediction;
+            if (value < 0) {
+                value = 0;
+            }
+            if (value > 255) {
+                value = 255;
+            }
+            decoded[fbase + idx] = value;
+        }
+    }
+}
+
+tolerant void update_reference(int frame) {
+    int width = frame_width;
+    int height = frame_height;
+    int fbase = frame * width * height;
+    for (int i = 0; i < width * height; i = i + 1) {
+        reference[i] = decoded[fbase + i];
+    }
+}
+
+tolerant void codec_frame(int frame, int ftype) {
+    int blocks_x = frame_width / 8;
+    int blocks_y = frame_height / 8;
+    for (int by = 0; by < blocks_y; by = by + 1) {
+        for (int bx = 0; bx < blocks_x; bx = bx + 1) {
+            load_block(frame, bx, by, ftype);
+            dct8x8();
+            quantise_block(frame, bx, by, ftype);
+            dequantise_block(frame, bx, by, ftype);
+            idct8x8();
+            store_block(frame, bx, by, ftype);
+        }
+    }
+    if (ftype != 2) {
+        update_reference(frame);
+    }
+}
+
+reliable int main() {
+    for (int frame = 0; frame < n_frames; frame = frame + 1) {
+        codec_frame(frame, frame_type[frame]);
+    }
+    return 0;
+}
+"""
+
+
+def dct_cosine_table() -> List[float]:
+    """Orthonormal 8x8 DCT-II basis table ``c(u) * cos((2x+1) u pi / 16)``."""
+    table: List[float] = []
+    for u in range(8):
+        scale = math.sqrt(1.0 / 8.0) if u == 0 else math.sqrt(2.0 / 8.0)
+        for x in range(8):
+            table.append(scale * math.cos((2 * x + 1) * u * math.pi / 16.0))
+    return table
+
+
+def gop_pattern(frames: int) -> List[int]:
+    """Frame type pattern: an I frame followed by alternating P and B frames."""
+    pattern: List[int] = []
+    for index in range(frames):
+        if index == 0:
+            pattern.append(FRAME_TYPE_CODES["I"])
+        elif index % 2 == 1:
+            pattern.append(FRAME_TYPE_CODES["P"])
+        else:
+            pattern.append(FRAME_TYPE_CODES["B"])
+    return pattern
+
+
+class MpegApp(ErrorTolerantApp):
+    """Block-DCT video codec over a synthetic moving scene."""
+
+    name = "mpeg"
+    description = "MPEG-style video encoder/decoder (I/P/B frames, 8x8 DCT)"
+    default_error_sweep = (0, 1, 2, 4, 8, 16)
+
+    def __init__(self, width: int = 16, height: int = 16, frames: int = 6) -> None:
+        super().__init__()
+        if width % 8 or height % 8:
+            raise ValueError("frame dimensions must be multiples of 8")
+        if width * height > 1024:
+            raise ValueError("frames are limited to 1024 pixels")
+        if frames * width * height > 4096:
+            raise ValueError("the video is limited to 4096 pixels total")
+        self.width = width
+        self.height = height
+        self.frames = frames
+
+    def source(self) -> str:
+        return MPEG_SOURCE
+
+    def fidelity_measure(self) -> FidelityMeasure:
+        return FidelityMeasure(
+            name="bad frames",
+            unit="% frames losing more than their SNR budget",
+            higher_is_better=False,
+            threshold=BAD_FRAME_THRESHOLD_PERCENT,
+            threshold_description="at most 10% bad frames (2/4/6 dB budget for I/P/B)",
+        )
+
+    def generate_workload(self, seed: int) -> Dict[str, Any]:
+        scene = moving_scene(self.width, self.height, self.frames, seed=seed)
+        return {"frames": scene, "types": gop_pattern(self.frames)}
+
+    def apply_workload(self, machine: Machine, workload: Dict[str, Any]) -> None:
+        pixels: List[int] = []
+        for frame in workload["frames"]:
+            pixels.extend(frame.pixels)
+        machine.write_global("frames_in", pixels)
+        machine.write_global("frame_type", workload["types"])
+        machine.write_global("cos_table", dct_cosine_table())
+        machine.write_global("quant_steps", [QUANT_STEPS[0], QUANT_STEPS[1], QUANT_STEPS[2]])
+        machine.write_global("n_frames", [self.frames])
+        machine.write_global("frame_width", [self.width])
+        machine.write_global("frame_height", [self.height])
+
+    def read_output(self, result: RunResult, workload: Dict[str, Any]) -> List[List[int]]:
+        frame_pixels = self.width * self.height
+        base = result.program.data_address("decoded")
+        frames: List[List[int]] = []
+        for index in range(self.frames):
+            values = result.memory.read_block(base + index * frame_pixels, frame_pixels)
+            frames.append([int(value) for value in values])
+        return frames
+
+    def score(self, reference: List[List[int]], observed: List[List[int]],
+              workload: Dict[str, Any]) -> FidelityResult:
+        type_names = [FRAME_TYPE_NAMES[code] for code in workload["types"]]
+        qualities = classify_frames(reference, observed, type_names)
+        bad = percent_bad_frames(qualities)
+        return FidelityResult(
+            score=bad,
+            acceptable=bad <= BAD_FRAME_THRESHOLD_PERCENT,
+            perfect=observed == reference,
+            detail={"percent_bad_frames": bad,
+                    "bad_frames": float(sum(1 for quality in qualities if quality.bad))},
+        )

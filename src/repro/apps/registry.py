@@ -1,0 +1,88 @@
+"""Registry of the paper's benchmark applications (Table 1).
+
+The registry provides two standard configurations:
+
+* ``standard_suite()`` — workload sizes used by the benchmark harness
+  (large enough for meaningful dynamic-instruction statistics, small enough
+  for pure-Python fault campaigns);
+* ``small_suite()`` — reduced workloads for fast tests and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.app import ErrorTolerantApp
+from .adpcm.app import AdpcmApp
+from .art.app import ArtApp
+from .blowfish.app import BlowfishApp
+from .gsm.app import GsmApp
+from .mcf.app import McfApp
+from .mpeg.app import MpegApp
+from .susan.app import SusanApp
+
+#: Order in which the paper's tables list the applications.
+APP_ORDER: List[str] = ["susan", "mpeg", "mcf", "blowfish", "gsm", "art", "adpcm"]
+
+#: Fidelity-measure summaries exactly as Table 1 states them.
+TABLE1_FIDELITY: Dict[str, str] = {
+    "susan": "Imagemagick comparison",
+    "mpeg": "% frames not dropped",
+    "mcf": "% extra time in schedule",
+    "blowfish": "% bytes correct from original",
+    "gsm": "signal-to-noise difference",
+    "art": "error in confidence of match",
+    "adpcm": "% similarity of decoded PCM output",
+}
+
+
+def standard_suite() -> Dict[str, ErrorTolerantApp]:
+    """Applications at the workload sizes used by the benchmark harness."""
+    return {
+        "susan": SusanApp(width=20, height=20),
+        "mpeg": MpegApp(width=16, height=16, frames=6),
+        "mcf": McfApp(trips=10),
+        "blowfish": BlowfishApp(text_bytes=256),
+        "gsm": GsmApp(frames=10),
+        "art": ArtApp(image_size=24, window_size=8, stride=4),
+        "adpcm": AdpcmApp(samples=1500),
+    }
+
+
+def small_suite() -> Dict[str, ErrorTolerantApp]:
+    """Reduced workloads for unit/integration tests and quick examples."""
+    return {
+        "susan": SusanApp(width=12, height=12),
+        "mpeg": MpegApp(width=8, height=8, frames=3),
+        "mcf": McfApp(trips=6),
+        "blowfish": BlowfishApp(text_bytes=64),
+        "gsm": GsmApp(frames=3),
+        "art": ArtApp(image_size=16, window_size=8, stride=4),
+        "adpcm": AdpcmApp(samples=400),
+    }
+
+
+_FACTORY: Dict[str, Callable[[], ErrorTolerantApp]] = {
+    "susan": SusanApp,
+    "mpeg": MpegApp,
+    "mcf": McfApp,
+    "blowfish": BlowfishApp,
+    "gsm": GsmApp,
+    "art": ArtApp,
+    "adpcm": AdpcmApp,
+}
+
+
+def create_app(name: str, **kwargs) -> ErrorTolerantApp:
+    """Create a single application by name with custom workload parameters."""
+    try:
+        factory = _FACTORY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown application {name!r}; expected one of {sorted(_FACTORY)}"
+        ) from exc
+    return factory(**kwargs)
+
+
+def app_names() -> List[str]:
+    return list(APP_ORDER)

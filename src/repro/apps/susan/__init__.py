@@ -1,0 +1,5 @@
+"""susan benchmark application."""
+
+from .app import SusanApp
+
+__all__ = ["SusanApp"]

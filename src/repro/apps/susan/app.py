@@ -1,0 +1,161 @@
+"""Susan benchmark: SUSAN edge detection (MiBench).
+
+Implements the Smallest Univalue Segment Assimilating Nucleus principle
+with the standard 37-pixel circular mask: for every pixel, the USAN area is
+the number of mask pixels whose brightness is within a threshold of the
+nucleus brightness; the edge response is ``g - usan`` where ``g`` is the
+geometric threshold (3/4 of the maximum USAN area).
+
+Fidelity follows the paper: the corrupted edge-response image is compared
+to the error-free one with PSNR (ImageMagick substitute); outputs below
+10 dB are considered bad.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ...core.app import ErrorTolerantApp
+from ...core.fidelity import FidelityMeasure, FidelityResult
+from ...fidelity import psnr
+from ...sim import Machine, RunResult
+from ...workloads import synthetic_scene
+
+#: Paper's fidelity threshold for Susan: 10 dB PSNR.
+PSNR_THRESHOLD_DB = 10.0
+#: Brightness similarity threshold (MiBench default is 20).
+BRIGHTNESS_THRESHOLD = 20
+
+SUSAN_SOURCE = """
+// SUSAN edge detection on a grayscale image.
+//
+// As in the MiBench implementation, the brightness similarity function
+// exp(-((dI/t)^6)) is a precomputed 512-entry look-up table indexed by the
+// brightness difference, so the USAN accumulation is pure table look-ups
+// and additions with no data-dependent branches.
+int image[4096];
+int edges[4096];
+int mask_dx[37];
+int mask_dy[37];
+int bright_lut[512];
+int img_width;
+int img_height;
+
+tolerant int usan_area(int cx, int cy, int width) {
+    int nucleus = image[cy * width + cx];
+    int area = 0;
+    for (int k = 0; k < 37; k = k + 1) {
+        int px = cx + mask_dx[k];
+        int py = cy + mask_dy[k];
+        int value = image[py * width + px];
+        area = area + bright_lut[value - nucleus + 255];
+    }
+    return area;
+}
+
+tolerant void susan_edges(int width, int height) {
+    int max_area = 3700;
+    int geometric = (3 * max_area) / 4;
+    for (int y = 3; y < height - 3; y = y + 1) {
+        for (int x = 3; x < width - 3; x = x + 1) {
+            int area = usan_area(x, y, width);
+            int response = geometric - area;
+            // Branch-free max(response, 0), then scale into 0..255.
+            int negative = response >> 31;
+            response = response & ~negative;
+            edges[y * width + x] = (response * 255) / geometric;
+        }
+    }
+}
+
+reliable int main() {
+    susan_edges(img_width, img_height);
+    return 0;
+}
+"""
+
+
+def brightness_lut(threshold: int) -> List[int]:
+    """SUSAN brightness similarity LUT: ``100 * exp(-((dI/t)^6))`` per entry."""
+    import math
+
+    table: List[int] = []
+    for difference in range(-255, 256):
+        ratio = difference / float(threshold)
+        table.append(int(round(100.0 * math.exp(-(ratio ** 6)))))
+    table.append(0)  # pad to 512 entries
+    return table
+
+
+def circular_mask_offsets(radius: float = 3.4) -> List[Tuple[int, int]]:
+    """The 37-pixel circular mask used by SUSAN (radius ~3.4 pixels)."""
+    offsets: List[Tuple[int, int]] = []
+    span = int(radius) + 1
+    for dy in range(-span, span + 1):
+        for dx in range(-span, span + 1):
+            if dx * dx + dy * dy <= radius * radius:
+                offsets.append((dx, dy))
+    return offsets
+
+
+class SusanApp(ErrorTolerantApp):
+    """SUSAN edge detection on a synthetic edge-rich scene."""
+
+    name = "susan"
+    description = "SUSAN edge and corner detection"
+    default_error_sweep = (0, 20, 60, 150, 400, 920, 2300)
+
+    def __init__(self, width: int = 20, height: int = 20) -> None:
+        super().__init__()
+        if width * height > 4096:
+            raise ValueError("Susan workload is limited to 4096 pixels")
+        if width < 8 or height < 8:
+            raise ValueError("Susan needs at least an 8x8 image")
+        self.width = width
+        self.height = height
+        mask = circular_mask_offsets()
+        if len(mask) != 37:
+            raise AssertionError("circular mask must contain 37 offsets")
+        self._mask = mask
+
+    def source(self) -> str:
+        return SUSAN_SOURCE
+
+    def fidelity_measure(self) -> FidelityMeasure:
+        return FidelityMeasure(
+            name="PSNR of edge image",
+            unit="dB",
+            higher_is_better=True,
+            threshold=PSNR_THRESHOLD_DB,
+            threshold_description="output bad below 10 dB PSNR vs. error-free output",
+        )
+
+    def generate_workload(self, seed: int) -> Dict[str, Any]:
+        image = synthetic_scene(self.width, self.height, seed=seed)
+        return {"image": image}
+
+    def apply_workload(self, machine: Machine, workload: Dict[str, Any]) -> None:
+        image = workload["image"]
+        machine.write_global("image", image.pixels)
+        machine.write_global("mask_dx", [dx for dx, _ in self._mask])
+        machine.write_global("mask_dy", [dy for _, dy in self._mask])
+        machine.write_global("bright_lut", brightness_lut(BRIGHTNESS_THRESHOLD))
+        machine.write_global("img_width", [image.width])
+        machine.write_global("img_height", [image.height])
+
+    def read_output(self, result: RunResult, workload: Dict[str, Any]) -> List[int]:
+        image = workload["image"]
+        count = image.width * image.height
+        return [int(value) for value in result.memory.read_block(
+            result.program.data_address("edges"), count)]
+
+    def score(self, reference: List[int], observed: List[int],
+              workload: Dict[str, Any]) -> FidelityResult:
+        clamped = [max(0, min(255, value)) for value in observed]
+        value = psnr(reference, clamped)
+        return FidelityResult(
+            score=value,
+            acceptable=value >= PSNR_THRESHOLD_DB,
+            perfect=observed == reference,
+            detail={"psnr_db": value},
+        )

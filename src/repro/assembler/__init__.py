@@ -1,0 +1,12 @@
+"""Assembler front-ends: a programmatic builder and a text parser."""
+
+from .builder import BuilderError, ProgramBuilder, build_program
+from .parser import AssemblerError, parse_assembly
+
+__all__ = [
+    "AssemblerError",
+    "BuilderError",
+    "ProgramBuilder",
+    "build_program",
+    "parse_assembly",
+]

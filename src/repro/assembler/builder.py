@@ -1,0 +1,316 @@
+"""Programmatic assembly builder.
+
+The builder offers a compact way to construct :class:`~repro.isa.Program`
+objects directly from Python, used by the MiniC code generator, by tests and
+by hand-written runtime routines.  Each mnemonic becomes a method; labels and
+functions are managed explicitly.
+
+Example
+-------
+>>> from repro.assembler import ProgramBuilder
+>>> from repro.isa import R
+>>> b = ProgramBuilder()
+>>> with b.function("main"):
+...     b.li(R(8), 2)
+...     b.li(R(9), 3)
+...     b.add(R(2), R(8), R(9))
+...     b.halt()
+>>> program = b.build()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List, Optional, Sequence
+
+from ..isa import DataObject, FunctionInfo, Instruction, Opcode, Program, Reg
+from ..isa.registers import REG_RA
+
+
+class BuilderError(Exception):
+    """Raised when the builder is used inconsistently."""
+
+
+class ProgramBuilder:
+    """Incrementally build a :class:`Program`."""
+
+    def __init__(self, entry: str = "main") -> None:
+        self._program = Program(entry=entry)
+        self._current_function: Optional[str] = None
+        self._function_start: int = 0
+        self._function_eligible: bool = True
+        self._label_counter = 0
+
+    # ------------------------------------------------------------------
+    # Structure.
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def function(self, name: str, eligible: bool = True) -> Iterator[None]:
+        """Open a function region; its label is the function name."""
+        if self._current_function is not None:
+            raise BuilderError("nested function definitions are not allowed")
+        self._current_function = name
+        self._function_start = len(self._program.instructions)
+        self._function_eligible = eligible
+        self._program.add_label(name)
+        try:
+            yield
+        finally:
+            end = len(self._program.instructions)
+            self._program.add_function(
+                FunctionInfo(name=name, start=self._function_start, end=end,
+                             eligible=eligible)
+            )
+            self._current_function = None
+
+    def label(self, name: str) -> str:
+        """Place a label at the current position and return its name."""
+        self._program.add_label(name)
+        return name
+
+    def fresh_label(self, hint: str = "L") -> str:
+        """Generate a unique label name (not yet placed)."""
+        self._label_counter += 1
+        return f".{hint}{self._label_counter}"
+
+    def data(self, name: str, size: int, initial: Sequence[float] = ()) -> str:
+        """Declare a global data object and return its symbol name."""
+        self._program.add_data(DataObject(name=name, size=size, initial=list(initial)))
+        return name
+
+    def build(self) -> Program:
+        """Finalize and return the program."""
+        return self._program.finalize()
+
+    @property
+    def program(self) -> Program:
+        return self._program
+
+    # ------------------------------------------------------------------
+    # Generic emit.
+    # ------------------------------------------------------------------
+    def emit(self, op: Opcode, rd: Optional[Reg] = None, rs1: Optional[Reg] = None,
+             rs2: Optional[Reg] = None, imm: Optional[float] = None,
+             label: Optional[str] = None, comment: str = "") -> Instruction:
+        instruction = Instruction(op=op, rd=rd, rs1=rs1, rs2=rs2, imm=imm,
+                                  label=label, comment=comment,
+                                  function=self._current_function)
+        self._program.add_instruction(instruction)
+        return instruction
+
+    # ------------------------------------------------------------------
+    # Integer ALU.
+    # ------------------------------------------------------------------
+    def add(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.ADD, rd, rs1, rs2)
+
+    def sub(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.SUB, rd, rs1, rs2)
+
+    def mul(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.MUL, rd, rs1, rs2)
+
+    def div(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.DIV, rd, rs1, rs2)
+
+    def rem(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.REM, rd, rs1, rs2)
+
+    def and_(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.AND, rd, rs1, rs2)
+
+    def or_(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.OR, rd, rs1, rs2)
+
+    def xor(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.XOR, rd, rs1, rs2)
+
+    def nor(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.NOR, rd, rs1, rs2)
+
+    def sll(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.SLL, rd, rs1, rs2)
+
+    def srl(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.SRL, rd, rs1, rs2)
+
+    def sra(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.SRA, rd, rs1, rs2)
+
+    def slt(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.SLT, rd, rs1, rs2)
+
+    def sle(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.SLE, rd, rs1, rs2)
+
+    def seq(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.SEQ, rd, rs1, rs2)
+
+    def sne(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.SNE, rd, rs1, rs2)
+
+    # ------------------------------------------------------------------
+    # Integer immediates.
+    # ------------------------------------------------------------------
+    def addi(self, rd: Reg, rs1: Reg, imm: int) -> Instruction:
+        return self.emit(Opcode.ADDI, rd, rs1, imm=imm)
+
+    def andi(self, rd: Reg, rs1: Reg, imm: int) -> Instruction:
+        return self.emit(Opcode.ANDI, rd, rs1, imm=imm)
+
+    def ori(self, rd: Reg, rs1: Reg, imm: int) -> Instruction:
+        return self.emit(Opcode.ORI, rd, rs1, imm=imm)
+
+    def xori(self, rd: Reg, rs1: Reg, imm: int) -> Instruction:
+        return self.emit(Opcode.XORI, rd, rs1, imm=imm)
+
+    def slli(self, rd: Reg, rs1: Reg, imm: int) -> Instruction:
+        return self.emit(Opcode.SLLI, rd, rs1, imm=imm)
+
+    def srli(self, rd: Reg, rs1: Reg, imm: int) -> Instruction:
+        return self.emit(Opcode.SRLI, rd, rs1, imm=imm)
+
+    def srai(self, rd: Reg, rs1: Reg, imm: int) -> Instruction:
+        return self.emit(Opcode.SRAI, rd, rs1, imm=imm)
+
+    def slti(self, rd: Reg, rs1: Reg, imm: int) -> Instruction:
+        return self.emit(Opcode.SLTI, rd, rs1, imm=imm)
+
+    def li(self, rd: Reg, imm: int) -> Instruction:
+        return self.emit(Opcode.LI, rd, imm=imm)
+
+    def mov(self, rd: Reg, rs1: Reg) -> Instruction:
+        """Pseudo-instruction: integer register copy (``addi rd, rs, 0``)."""
+        return self.emit(Opcode.ADDI, rd, rs1, imm=0, comment="mov")
+
+    # ------------------------------------------------------------------
+    # Floating point.
+    # ------------------------------------------------------------------
+    def fadd(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.FADD, rd, rs1, rs2)
+
+    def fsub(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.FSUB, rd, rs1, rs2)
+
+    def fmul(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.FMUL, rd, rs1, rs2)
+
+    def fdiv(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.FDIV, rd, rs1, rs2)
+
+    def fneg(self, rd: Reg, rs1: Reg) -> Instruction:
+        return self.emit(Opcode.FNEG, rd, rs1)
+
+    def fabs(self, rd: Reg, rs1: Reg) -> Instruction:
+        return self.emit(Opcode.FABS, rd, rs1)
+
+    def fmin(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.FMIN, rd, rs1, rs2)
+
+    def fmax(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.FMAX, rd, rs1, rs2)
+
+    def fsqrt(self, rd: Reg, rs1: Reg) -> Instruction:
+        return self.emit(Opcode.FSQRT, rd, rs1)
+
+    def fli(self, rd: Reg, imm: float) -> Instruction:
+        return self.emit(Opcode.FLI, rd, imm=float(imm))
+
+    def fmov(self, rd: Reg, rs1: Reg) -> Instruction:
+        """Pseudo-instruction: float register copy (``fmax rd, rs, rs``)."""
+        return self.emit(Opcode.FMAX, rd, rs1, rs1, comment="fmov")
+
+    def feq(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.FEQ, rd, rs1, rs2)
+
+    def flt(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.FLT, rd, rs1, rs2)
+
+    def fle(self, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction:
+        return self.emit(Opcode.FLE, rd, rs1, rs2)
+
+    def cvtif(self, rd: Reg, rs1: Reg) -> Instruction:
+        return self.emit(Opcode.CVTIF, rd, rs1)
+
+    def cvtfi(self, rd: Reg, rs1: Reg) -> Instruction:
+        return self.emit(Opcode.CVTFI, rd, rs1)
+
+    # ------------------------------------------------------------------
+    # Memory.
+    # ------------------------------------------------------------------
+    def lw(self, rd: Reg, base: Reg, offset: int = 0) -> Instruction:
+        return self.emit(Opcode.LW, rd, base, imm=offset)
+
+    def sw(self, src: Reg, base: Reg, offset: int = 0) -> Instruction:
+        return self.emit(Opcode.SW, rs1=base, rs2=src, imm=offset)
+
+    def flw(self, rd: Reg, base: Reg, offset: int = 0) -> Instruction:
+        return self.emit(Opcode.FLW, rd, base, imm=offset)
+
+    def fsw(self, src: Reg, base: Reg, offset: int = 0) -> Instruction:
+        return self.emit(Opcode.FSW, rs1=base, rs2=src, imm=offset)
+
+    def la(self, rd: Reg, symbol: str) -> Instruction:
+        return self.emit(Opcode.LA, rd, label=symbol)
+
+    # ------------------------------------------------------------------
+    # Control flow.
+    # ------------------------------------------------------------------
+    def beq(self, rs1: Reg, rs2: Reg, label: str) -> Instruction:
+        return self.emit(Opcode.BEQ, rs1=rs1, rs2=rs2, label=label)
+
+    def bne(self, rs1: Reg, rs2: Reg, label: str) -> Instruction:
+        return self.emit(Opcode.BNE, rs1=rs1, rs2=rs2, label=label)
+
+    def blt(self, rs1: Reg, rs2: Reg, label: str) -> Instruction:
+        return self.emit(Opcode.BLT, rs1=rs1, rs2=rs2, label=label)
+
+    def ble(self, rs1: Reg, rs2: Reg, label: str) -> Instruction:
+        return self.emit(Opcode.BLE, rs1=rs1, rs2=rs2, label=label)
+
+    def bgt(self, rs1: Reg, rs2: Reg, label: str) -> Instruction:
+        return self.emit(Opcode.BGT, rs1=rs1, rs2=rs2, label=label)
+
+    def bge(self, rs1: Reg, rs2: Reg, label: str) -> Instruction:
+        return self.emit(Opcode.BGE, rs1=rs1, rs2=rs2, label=label)
+
+    def beqz(self, rs1: Reg, label: str) -> Instruction:
+        return self.emit(Opcode.BEQZ, rs1=rs1, label=label)
+
+    def bnez(self, rs1: Reg, label: str) -> Instruction:
+        return self.emit(Opcode.BNEZ, rs1=rs1, label=label)
+
+    def j(self, label: str) -> Instruction:
+        return self.emit(Opcode.J, label=label)
+
+    def jal(self, label: str) -> Instruction:
+        return self.emit(Opcode.JAL, rd=REG_RA, label=label)
+
+    def jr(self, rs1: Reg) -> Instruction:
+        return self.emit(Opcode.JR, rs1=rs1)
+
+    def ret(self) -> Instruction:
+        """Pseudo-instruction: return (``jr $ra``)."""
+        return self.emit(Opcode.JR, rs1=REG_RA, comment="ret")
+
+    # ------------------------------------------------------------------
+    # System.
+    # ------------------------------------------------------------------
+    def out(self, rs1: Reg, channel: int = 0) -> Instruction:
+        return self.emit(Opcode.OUT, rs1=rs1, imm=channel)
+
+    def fout(self, rs1: Reg, channel: int = 0) -> Instruction:
+        return self.emit(Opcode.FOUT, rs1=rs1, imm=channel)
+
+    def halt(self) -> Instruction:
+        return self.emit(Opcode.HALT)
+
+    def nop(self) -> Instruction:
+        return self.emit(Opcode.NOP)
+
+
+def build_program(body, entry: str = "main") -> Program:
+    """Convenience helper: call ``body(builder)`` and return the built program."""
+    builder = ProgramBuilder(entry=entry)
+    body(builder)
+    return builder.build()

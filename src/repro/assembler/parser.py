@@ -1,0 +1,186 @@
+"""Text assembly parser.
+
+The text format mirrors the listing produced by
+:meth:`repro.isa.Program.listing` and is primarily useful for writing small
+test programs and for round-tripping compiler output:
+
+.. code-block:: asm
+
+    .data table 16 = 1 2 3 4
+    .func main
+        li   $8, 10
+        la   $9, table
+        lw   $10, $9, 2
+        add  $2, $8, $10
+        halt
+    .endfunc
+
+Directives
+----------
+``.data NAME SIZE [= v0 v1 ...]``
+    Declare a global array of ``SIZE`` cells with optional initial values.
+``.func NAME [noteligible]``
+    Begin a function.  ``noteligible`` excludes it from low-reliability
+    tagging (used for allocation/bookkeeping routines, per Section 4).
+``.endfunc``
+    End the current function.
+``NAME:``
+    Place a label.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..isa import MNEMONIC_TO_OPCODE, OPCODE_INFO, Opcode, Program
+from ..isa.registers import parse_register
+from .builder import BuilderError, ProgramBuilder
+
+
+class AssemblerError(Exception):
+    """Raised when the assembly text cannot be parsed."""
+
+    def __init__(self, message: str, line_number: int = 0) -> None:
+        if line_number:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+        self.line_number = line_number
+
+
+def _parse_operand(token: str):
+    """Classify a single operand token as register, immediate or label."""
+    token = token.strip()
+    if token.startswith("$"):
+        return ("reg", parse_register(token))
+    try:
+        return ("imm", int(token, 0))
+    except ValueError:
+        pass
+    try:
+        return ("fimm", float(token))
+    except ValueError:
+        pass
+    return ("label", token)
+
+
+def _parse_number(token: str) -> float:
+    try:
+        return int(token, 0)
+    except ValueError:
+        return float(token)
+
+
+def parse_assembly(text: str, entry: str = "main") -> Program:
+    """Parse assembly text into a finalized :class:`Program`."""
+    builder = ProgramBuilder(entry=entry)
+    function_stack: List[str] = []
+    # The builder's function() is a context manager; for the parser we manage
+    # the regions manually through its internals-free public interface by
+    # entering/exiting explicitly.
+    open_function = None
+
+    def close_function():
+        nonlocal open_function
+        if open_function is not None:
+            open_function.__exit__(None, None, None)
+            open_function = None
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            if line.startswith(".data"):
+                parts = line.split("=", 1)
+                head = parts[0].split()
+                if len(head) != 3:
+                    raise AssemblerError(".data expects NAME SIZE", line_number)
+                name, size = head[1], int(head[2], 0)
+                initial: List[float] = []
+                if len(parts) == 2:
+                    initial = [_parse_number(tok) for tok in parts[1].split()]
+                builder.data(name, size, initial)
+                continue
+            if line.startswith(".func"):
+                parts = line.split()
+                if len(parts) < 2:
+                    raise AssemblerError(".func expects a name", line_number)
+                eligible = "noteligible" not in parts[2:]
+                close_function()
+                open_function = builder.function(parts[1], eligible=eligible)
+                open_function.__enter__()
+                function_stack.append(parts[1])
+                continue
+            if line.startswith(".endfunc"):
+                if open_function is None:
+                    raise AssemblerError(".endfunc without .func", line_number)
+                close_function()
+                continue
+            if line.endswith(":") and " " not in line:
+                builder.label(line[:-1])
+                continue
+            _parse_instruction(builder, line, line_number)
+        except (BuilderError, ValueError) as exc:
+            raise AssemblerError(str(exc), line_number) from exc
+
+    close_function()
+    return builder.build()
+
+
+def _parse_instruction(builder: ProgramBuilder, line: str, line_number: int) -> None:
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    opcode = MNEMONIC_TO_OPCODE.get(mnemonic)
+    if opcode is None:
+        raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line_number)
+    operand_text = parts[1] if len(parts) > 1 else ""
+    tokens = [tok for tok in (t.strip() for t in operand_text.split(",")) if tok]
+    operands = [_parse_operand(tok) for tok in tokens]
+    info = OPCODE_INFO[opcode]
+
+    regs = [value for kind, value in operands if kind == "reg"]
+    imms = [value for kind, value in operands if kind in ("imm", "fimm")]
+    labels = [value for kind, value in operands if kind == "label"]
+
+    rd = rs1 = rs2 = None
+    imm = imms[0] if imms else None
+    label: Optional[str] = labels[0] if labels else None
+
+    if opcode in (Opcode.SW, Opcode.FSW):
+        # sw  src, base, offset
+        if len(regs) != 2:
+            raise AssemblerError(f"{info.name} expects two registers", line_number)
+        rs2, rs1 = regs[0], regs[1]
+    elif info.is_branch:
+        if len(regs) == 2:
+            rs1, rs2 = regs
+        elif len(regs) == 1:
+            rs1 = regs[0]
+        else:
+            raise AssemblerError(f"{info.name} expects register operands", line_number)
+    elif opcode is Opcode.JR:
+        rs1 = regs[0] if regs else None
+    elif opcode in (Opcode.OUT, Opcode.FOUT):
+        rs1 = regs[0] if regs else None
+        imm = imm if imm is not None else 0
+    elif info.writes_register:
+        if not regs and opcode not in (Opcode.JAL,):
+            raise AssemblerError(f"{info.name} expects a destination register",
+                                 line_number)
+        if regs:
+            rd = regs[0]
+        if len(regs) > 1:
+            rs1 = regs[1]
+        if len(regs) > 2:
+            rs2 = regs[2]
+    else:
+        if regs:
+            rs1 = regs[0]
+        if len(regs) > 1:
+            rs2 = regs[1]
+
+    if opcode is Opcode.JAL and rd is None:
+        from ..isa.registers import REG_RA
+        rd = REG_RA
+
+    builder.emit(opcode, rd=rd, rs1=rs1, rs2=rs2, imm=imm, label=label)

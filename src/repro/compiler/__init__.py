@@ -1,0 +1,6 @@
+"""Compiler substrate: the MiniC front-end and the analysis passes."""
+
+from .minic import compile_source
+from .passes import build_cfg, clear_tags, tag_control_data
+
+__all__ = ["build_cfg", "clear_tags", "compile_source", "tag_control_data"]

@@ -1,0 +1,30 @@
+"""MiniC: the small C-like language the benchmark applications are written in."""
+
+from .ast import TranslationUnit
+from .codegen import CodegenError, compile_unit
+from .lexer import LexerError, Token, tokenize
+from .parser import ParseError, parse_source
+from .semantics import SemanticError, analyse
+
+from ...isa import Program
+
+
+def compile_source(source: str, entry: str = "main") -> Program:
+    """Compile MiniC source text into a finalized :class:`~repro.isa.Program`."""
+    return compile_unit(parse_source(source), entry=entry)
+
+
+__all__ = [
+    "CodegenError",
+    "LexerError",
+    "ParseError",
+    "Program",
+    "SemanticError",
+    "Token",
+    "TranslationUnit",
+    "analyse",
+    "compile_source",
+    "compile_unit",
+    "parse_source",
+    "tokenize",
+]

@@ -1,0 +1,200 @@
+"""Abstract syntax tree for MiniC.
+
+MiniC is the small C-like language in which the benchmark applications are
+written.  It supports ``int`` and ``float`` scalars, one-dimensional global
+and local arrays, functions with register-passed scalar/array parameters,
+the usual arithmetic/logical operators, ``if``/``while``/``for`` control
+flow, and a handful of intrinsic functions (``out``, ``outf``, ``sqrtf``,
+``fabsf``).
+
+Functions may carry a reliability qualifier:
+
+* ``reliable`` — the function is **not** eligible for low-reliability
+  tagging (the paper's example: a memory allocator);
+* ``tolerant`` — explicitly eligible (the default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+# ----------------------------------------------------------------------
+# Expressions.
+# ----------------------------------------------------------------------
+@dataclass
+class Expr(Node):
+    #: Filled in by the semantic analyser: "int" or "float".
+    type: Optional[str] = field(default=None, kw_only=True)
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class Name(Expr):
+    ident: str = ""
+
+
+@dataclass
+class Index(Expr):
+    """Array element access ``base[index]``."""
+
+    base: str = ""
+    index: Optional[Expr] = None
+
+
+@dataclass
+class BinaryOp(Expr):
+    op: str = ""
+    left: Optional[Expr] = None
+    right: Optional[Expr] = None
+
+
+@dataclass
+class UnaryOp(Expr):
+    op: str = ""
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    callee: str = ""
+    arguments: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Cast(Expr):
+    target_type: str = ""
+    operand: Optional[Expr] = None
+
+
+# ----------------------------------------------------------------------
+# Statements.
+# ----------------------------------------------------------------------
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    statements: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class LocalDecl(Stmt):
+    name: str = ""
+    var_type: str = "int"
+    is_array: bool = False
+    size: int = 0
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    """Assignment to a scalar name or an array element."""
+
+    target: Union[Name, Index, None] = None
+    value: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    condition: Optional[Expr] = None
+    then_body: Optional[Block] = None
+    else_body: Optional[Block] = None
+
+
+@dataclass
+class While(Stmt):
+    condition: Optional[Expr] = None
+    body: Optional[Block] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None
+    condition: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: Optional[Block] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+# ----------------------------------------------------------------------
+# Declarations.
+# ----------------------------------------------------------------------
+@dataclass
+class Param(Node):
+    name: str = ""
+    param_type: str = "int"
+    is_array: bool = False
+
+
+@dataclass
+class FuncDef(Node):
+    name: str = ""
+    return_type: str = "void"
+    params: List[Param] = field(default_factory=list)
+    body: Optional[Block] = None
+    #: "default", "reliable" (never tagged) or "tolerant" (explicitly eligible)
+    reliability: str = "default"
+
+    @property
+    def eligible(self) -> bool:
+        return self.reliability != "reliable"
+
+
+@dataclass
+class GlobalDecl(Node):
+    name: str = ""
+    var_type: str = "int"
+    is_array: bool = False
+    size: int = 1
+    init: Sequence[float] = field(default_factory=list)
+
+
+@dataclass
+class TranslationUnit(Node):
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)
+
+    def function(self, name: str) -> FuncDef:
+        for function in self.functions:
+            if function.name == name:
+                return function
+        raise KeyError(name)

@@ -1,0 +1,820 @@
+"""Code generation from MiniC to the virtual ISA.
+
+The generator follows a conventional, explicitly simple strategy:
+
+* scalar parameters and locals live in callee-saved *variable registers*
+  (spilling to the stack frame only when the register file is exhausted),
+  so loop counters and accumulators form direct register def-use chains —
+  the property the control-data analysis relies on;
+* expressions are evaluated into caller-saved *temporary registers*;
+* the first four integer-class arguments travel in ``$4-$7`` and the first
+  four float arguments in ``$f12-$f15`` (MIPS o32 style);
+* return values use ``$2`` / ``$f0``;
+* every function saves/restores the variable registers it uses, plus the
+  return address and frame pointer.
+
+The output is a :class:`~repro.isa.Program` whose functions carry the
+eligibility flag derived from the ``reliable``/``tolerant`` qualifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ...assembler import ProgramBuilder
+from ...isa import Program, Reg
+from ...isa.registers import F, R
+from . import ast
+from .semantics import INTRINSICS, AnalysisResult, SemanticError, analyse
+
+INT_TEMP_INDICES = list(range(8, 16))
+INT_VAR_INDICES = list(range(16, 28))
+FLOAT_TEMP_INDICES = list(range(1, 12))
+FLOAT_VAR_INDICES = list(range(16, 32))
+INT_ARG_INDICES = [4, 5, 6, 7]
+FLOAT_ARG_INDICES = [12, 13, 14, 15]
+
+REG_RV = R(2)
+REG_FRV = F(0)
+REG_SP = R(29)
+REG_FP = R(30)
+REG_RA = R(31)
+REG_ZERO = R(0)
+
+
+class CodegenError(Exception):
+    """Raised when a valid MiniC program exceeds the code generator's limits."""
+
+
+@dataclass
+class Value:
+    """An expression result: a register plus its scalar type."""
+
+    reg: Reg
+    type: str
+    is_temp: bool
+
+
+@dataclass
+class Location:
+    """Where a variable lives."""
+
+    kind: str            # "reg", "frame", "global", "frame_array", "param_array"
+    var_type: str        # element / scalar type
+    reg: Optional[Reg] = None
+    offset: int = 0
+    symbol: Optional[str] = None
+    size: int = 0
+
+
+class TempAllocator:
+    """Tracks which temporary registers are currently holding live values."""
+
+    def __init__(self) -> None:
+        self._free_int = list(INT_TEMP_INDICES)
+        self._free_float = list(FLOAT_TEMP_INDICES)
+        self._active: List[Reg] = []
+
+    def alloc(self, kind: str) -> Reg:
+        pool = self._free_int if kind == "int" else self._free_float
+        if not pool:
+            raise CodegenError(
+                f"expression too complex: out of {kind} temporary registers"
+            )
+        reg = R(pool.pop(0)) if kind == "int" else F(pool.pop(0))
+        self._active.append(reg)
+        return reg
+
+    def free(self, reg: Reg) -> None:
+        if reg not in self._active:
+            return
+        self._active.remove(reg)
+        if reg.is_int:
+            self._free_int.insert(0, reg.index)
+        else:
+            self._free_float.insert(0, reg.index)
+
+    def free_value(self, value: Optional[Value]) -> None:
+        if value is not None and value.is_temp:
+            self.free(value.reg)
+
+    def active(self) -> List[Reg]:
+        return list(self._active)
+
+    def reacquire(self, regs: List[Reg]) -> None:
+        """Mark specific registers active again (after a call restore)."""
+        for reg in regs:
+            if reg.is_int:
+                if reg.index in self._free_int:
+                    self._free_int.remove(reg.index)
+            else:
+                if reg.index in self._free_float:
+                    self._free_float.remove(reg.index)
+            if reg not in self._active:
+                self._active.append(reg)
+
+
+@dataclass
+class LoopContext:
+    break_label: str
+    continue_label: str
+
+
+class FunctionGenerator:
+    """Generates code for a single function."""
+
+    def __init__(self, codegen: "CodeGenerator", function: ast.FuncDef) -> None:
+        self.codegen = codegen
+        self.builder = codegen.builder
+        self.analysis = codegen.analysis
+        self.function = function
+        self.temps = TempAllocator()
+        self.locations: Dict[str, Location] = {}
+        self.loop_stack: List[LoopContext] = []
+        self.epilogue_label = self.builder.fresh_label(f"ret_{function.name}_")
+        self.frame_size = 0
+        self._used_int_vars: List[int] = []
+        self._used_float_vars: List[int] = []
+        self._saved_reg_offsets: List[Tuple[Reg, int]] = []
+
+    # ------------------------------------------------------------------
+    # Frame layout.
+    # ------------------------------------------------------------------
+    def _collect_locals(self, block: ast.Block, found: List[ast.LocalDecl]) -> None:
+        for statement in block.statements:
+            if isinstance(statement, ast.LocalDecl):
+                found.append(statement)
+            elif isinstance(statement, ast.Block):
+                self._collect_locals(statement, found)
+            elif isinstance(statement, ast.If):
+                self._collect_locals(statement.then_body, found)
+                if statement.else_body is not None:
+                    self._collect_locals(statement.else_body, found)
+            elif isinstance(statement, ast.While):
+                self._collect_locals(statement.body, found)
+            elif isinstance(statement, ast.For):
+                if isinstance(statement.init, ast.LocalDecl):
+                    found.append(statement.init)
+                self._collect_locals(statement.body, found)
+
+    def _plan_frame(self) -> None:
+        int_vars = list(INT_VAR_INDICES)
+        float_vars = list(FLOAT_VAR_INDICES)
+        offset = 0
+
+        def assign_scalar(name: str, var_type: str, line: int) -> Location:
+            nonlocal offset
+            existing = self.locations.get(name)
+            if existing is not None:
+                if existing.var_type != var_type or existing.kind not in ("reg", "frame"):
+                    raise CodegenError(
+                        f"line {line}: variable {name!r} redeclared with a different type"
+                    )
+                return existing
+            if var_type == "int" and int_vars:
+                return Location(kind="reg", var_type=var_type, reg=R(int_vars.pop(0)))
+            if var_type == "float" and float_vars:
+                return Location(kind="reg", var_type=var_type, reg=F(float_vars.pop(0)))
+            location = Location(kind="frame", var_type=var_type, offset=offset)
+            offset += 1
+            return location
+
+        # Parameters first (arrays arrive as addresses in integer registers).
+        for param in self.function.params:
+            if param.is_array:
+                if int_vars:
+                    location = Location(kind="param_array", var_type=param.param_type,
+                                        reg=R(int_vars.pop(0)))
+                else:
+                    raise CodegenError(
+                        f"function {self.function.name!r}: too many array parameters")
+            else:
+                location = assign_scalar(param.name, param.param_type, param.line)
+            self.locations[param.name] = location
+
+        declarations: List[ast.LocalDecl] = []
+        self._collect_locals(self.function.body, declarations)
+        for declaration in declarations:
+            if declaration.is_array:
+                existing = self.locations.get(declaration.name)
+                if existing is not None:
+                    if existing.kind != "frame_array" or existing.size != declaration.size:
+                        raise CodegenError(
+                            f"line {declaration.line}: array {declaration.name!r} "
+                            f"redeclared differently")
+                    continue
+                self.locations[declaration.name] = Location(
+                    kind="frame_array", var_type=declaration.var_type,
+                    offset=offset, size=declaration.size)
+                offset += declaration.size
+            else:
+                self.locations[declaration.name] = assign_scalar(
+                    declaration.name, declaration.var_type, declaration.line)
+
+        self._used_int_vars = sorted(
+            {loc.reg.index for loc in self.locations.values()
+             if loc.reg is not None and loc.reg.is_int and loc.kind in ("reg", "param_array")}
+        )
+        self._used_float_vars = sorted(
+            {loc.reg.index for loc in self.locations.values()
+             if loc.reg is not None and loc.reg.is_float}
+        )
+
+        saved_offset = offset
+        self._saved_reg_offsets = []
+        for index in self._used_int_vars:
+            self._saved_reg_offsets.append((R(index), saved_offset))
+            saved_offset += 1
+        for index in self._used_float_vars:
+            self._saved_reg_offsets.append((F(index), saved_offset))
+            saved_offset += 1
+        self.frame_size = saved_offset + 2  # +fp, +ra
+
+    # ------------------------------------------------------------------
+    # Prologue / epilogue.
+    # ------------------------------------------------------------------
+    def _emit_prologue(self) -> None:
+        b = self.builder
+        b.addi(REG_SP, REG_SP, -self.frame_size)
+        b.sw(REG_RA, REG_SP, self.frame_size - 1)
+        b.sw(REG_FP, REG_SP, self.frame_size - 2)
+        for reg, slot in self._saved_reg_offsets:
+            if reg.is_int:
+                b.sw(reg, REG_SP, slot)
+            else:
+                b.fsw(reg, REG_SP, slot)
+        b.addi(REG_FP, REG_SP, 0)
+
+        int_arg = 0
+        float_arg = 0
+        for param in self.function.params:
+            location = self.locations[param.name]
+            if param.is_array or param.param_type == "int":
+                if int_arg >= len(INT_ARG_INDICES):
+                    raise CodegenError(
+                        f"function {self.function.name!r}: more than "
+                        f"{len(INT_ARG_INDICES)} integer-class parameters")
+                source = R(INT_ARG_INDICES[int_arg])
+                int_arg += 1
+                if location.kind in ("reg", "param_array"):
+                    b.mov(location.reg, source)
+                else:
+                    b.sw(source, REG_FP, location.offset)
+            else:
+                if float_arg >= len(FLOAT_ARG_INDICES):
+                    raise CodegenError(
+                        f"function {self.function.name!r}: more than "
+                        f"{len(FLOAT_ARG_INDICES)} float parameters")
+                source = F(FLOAT_ARG_INDICES[float_arg])
+                float_arg += 1
+                if location.kind == "reg":
+                    b.fmov(location.reg, source)
+                else:
+                    b.fsw(source, REG_FP, location.offset)
+
+    def _emit_epilogue(self) -> None:
+        b = self.builder
+        b.label(self.epilogue_label)
+        for reg, slot in self._saved_reg_offsets:
+            if reg.is_int:
+                b.lw(reg, REG_FP, slot)
+            else:
+                b.flw(reg, REG_FP, slot)
+        b.lw(REG_RA, REG_FP, self.frame_size - 1)
+        b.addi(REG_SP, REG_FP, self.frame_size)
+        b.lw(REG_FP, REG_FP, self.frame_size - 2)
+        b.ret()
+
+    # ------------------------------------------------------------------
+    # Entry point.
+    # ------------------------------------------------------------------
+    def generate(self) -> None:
+        self._plan_frame()
+        eligible = self.function.eligible
+        with self.builder.function(self.function.name, eligible=eligible):
+            self._emit_prologue()
+            self._gen_block(self.function.body)
+            self._emit_epilogue()
+
+    # ------------------------------------------------------------------
+    # Statements.
+    # ------------------------------------------------------------------
+    def _gen_block(self, block: ast.Block) -> None:
+        for statement in block.statements:
+            self._gen_statement(statement)
+
+    def _gen_statement(self, statement: ast.Stmt) -> None:
+        if isinstance(statement, ast.Block):
+            self._gen_block(statement)
+        elif isinstance(statement, ast.LocalDecl):
+            if statement.init is not None:
+                value = self._gen_expression(statement.init)
+                self._store_to_location(self.locations[statement.name], value)
+        elif isinstance(statement, ast.Assign):
+            self._gen_assign(statement)
+        elif isinstance(statement, ast.If):
+            self._gen_if(statement)
+        elif isinstance(statement, ast.While):
+            self._gen_while(statement)
+        elif isinstance(statement, ast.For):
+            self._gen_for(statement)
+        elif isinstance(statement, ast.Return):
+            self._gen_return(statement)
+        elif isinstance(statement, ast.Break):
+            if not self.loop_stack:
+                raise CodegenError("break outside of a loop")
+            self.builder.j(self.loop_stack[-1].break_label)
+        elif isinstance(statement, ast.Continue):
+            if not self.loop_stack:
+                raise CodegenError("continue outside of a loop")
+            self.builder.j(self.loop_stack[-1].continue_label)
+        elif isinstance(statement, ast.ExprStmt):
+            value = self._gen_expression(statement.expr)
+            self.temps.free_value(value)
+        else:  # pragma: no cover
+            raise CodegenError(f"unsupported statement {type(statement).__name__}")
+
+    def _gen_assign(self, statement: ast.Assign) -> None:
+        target = statement.target
+        if isinstance(target, ast.Name):
+            location = self._lookup_location(target.ident)
+            value = self._gen_expression(statement.value)
+            self._store_to_location(location, value)
+        elif isinstance(target, ast.Index):
+            location = self._lookup_location(target.base)
+            value = self._gen_expression(statement.value)
+            value = self._convert(value, location.var_type)
+            index_value = self._gen_expression(target.index)
+            address = self._element_address(location, index_value)
+            if location.var_type == "int":
+                self.builder.sw(value.reg, address, 0)
+            else:
+                self.builder.fsw(value.reg, address, 0)
+            self.temps.free(address)
+            self.temps.free_value(value)
+        else:  # pragma: no cover
+            raise CodegenError("unsupported assignment target")
+
+    def _gen_if(self, statement: ast.If) -> None:
+        else_label = self.builder.fresh_label("else_")
+        end_label = self.builder.fresh_label("endif_")
+        self._gen_condition_branch(statement.condition,
+                                   false_label=else_label if statement.else_body else end_label)
+        self._gen_block(statement.then_body)
+        if statement.else_body is not None:
+            self.builder.j(end_label)
+            self.builder.label(else_label)
+            self._gen_block(statement.else_body)
+        self.builder.label(end_label)
+
+    def _gen_while(self, statement: ast.While) -> None:
+        condition_label = self.builder.fresh_label("while_")
+        exit_label = self.builder.fresh_label("endwhile_")
+        self.builder.label(condition_label)
+        self._gen_condition_branch(statement.condition, false_label=exit_label)
+        self.loop_stack.append(LoopContext(break_label=exit_label,
+                                           continue_label=condition_label))
+        self._gen_block(statement.body)
+        self.loop_stack.pop()
+        self.builder.j(condition_label)
+        self.builder.label(exit_label)
+
+    def _gen_for(self, statement: ast.For) -> None:
+        condition_label = self.builder.fresh_label("for_")
+        step_label = self.builder.fresh_label("forstep_")
+        exit_label = self.builder.fresh_label("endfor_")
+        if statement.init is not None:
+            self._gen_statement(statement.init)
+        self.builder.label(condition_label)
+        if statement.condition is not None:
+            self._gen_condition_branch(statement.condition, false_label=exit_label)
+        self.loop_stack.append(LoopContext(break_label=exit_label,
+                                           continue_label=step_label))
+        self._gen_block(statement.body)
+        self.loop_stack.pop()
+        self.builder.label(step_label)
+        if statement.step is not None:
+            self._gen_statement(statement.step)
+        self.builder.j(condition_label)
+        self.builder.label(exit_label)
+
+    def _gen_return(self, statement: ast.Return) -> None:
+        if statement.value is not None:
+            value = self._gen_expression(statement.value)
+            value = self._convert(value, self.function.return_type)
+            if self.function.return_type == "int":
+                self.builder.mov(REG_RV, value.reg)
+            else:
+                self.builder.fmov(REG_FRV, value.reg)
+            self.temps.free_value(value)
+        self.builder.j(self.epilogue_label)
+
+    def _gen_condition_branch(self, condition: ast.Expr, false_label: str) -> None:
+        value = self._gen_expression(condition)
+        value = self._as_int_flag(value)
+        self.builder.beqz(value.reg, false_label)
+        self.temps.free_value(value)
+
+    # ------------------------------------------------------------------
+    # Expressions.
+    # ------------------------------------------------------------------
+    def _gen_expression(self, expression: ast.Expr) -> Optional[Value]:
+        if isinstance(expression, ast.IntLiteral):
+            reg = self.temps.alloc("int")
+            self.builder.li(reg, expression.value)
+            return Value(reg, "int", True)
+        if isinstance(expression, ast.FloatLiteral):
+            reg = self.temps.alloc("float")
+            self.builder.fli(reg, expression.value)
+            return Value(reg, "float", True)
+        if isinstance(expression, ast.Name):
+            return self._gen_name(expression)
+        if isinstance(expression, ast.Index):
+            return self._gen_index_load(expression)
+        if isinstance(expression, ast.BinaryOp):
+            return self._gen_binary(expression)
+        if isinstance(expression, ast.UnaryOp):
+            return self._gen_unary(expression)
+        if isinstance(expression, ast.Cast):
+            value = self._gen_expression(expression.operand)
+            return self._convert(value, expression.target_type)
+        if isinstance(expression, ast.Call):
+            return self._gen_call(expression)
+        raise CodegenError(f"unsupported expression {type(expression).__name__}")
+
+    def _lookup_location(self, name: str) -> Location:
+        location = self.locations.get(name)
+        if location is not None:
+            return location
+        global_symbol = self.analysis.globals.get(name)
+        if global_symbol is None:
+            raise CodegenError(f"unknown variable {name!r}")
+        kind = "global"
+        return Location(kind=kind, var_type=global_symbol.var_type, symbol=name,
+                        size=global_symbol.size)
+
+    def _gen_name(self, expression: ast.Name) -> Value:
+        name = expression.ident
+        location = self.locations.get(name)
+        if location is not None:
+            if location.kind == "reg":
+                return Value(location.reg, location.var_type, False)
+            if location.kind == "param_array":
+                return Value(location.reg, f"{location.var_type}[]", False)
+            if location.kind == "frame":
+                reg = self.temps.alloc(location.var_type)
+                if location.var_type == "int":
+                    self.builder.lw(reg, REG_FP, location.offset)
+                else:
+                    self.builder.flw(reg, REG_FP, location.offset)
+                return Value(reg, location.var_type, True)
+            if location.kind == "frame_array":
+                reg = self.temps.alloc("int")
+                self.builder.addi(reg, REG_FP, location.offset)
+                return Value(reg, f"{location.var_type}[]", True)
+        global_symbol = self.analysis.globals.get(name)
+        if global_symbol is None:
+            raise CodegenError(f"unknown variable {name!r}")
+        if global_symbol.is_array:
+            reg = self.temps.alloc("int")
+            self.builder.la(reg, name)
+            return Value(reg, f"{global_symbol.var_type}[]", True)
+        address = self.temps.alloc("int")
+        self.builder.la(address, name)
+        if global_symbol.var_type == "int":
+            reg = self.temps.alloc("int")
+            self.builder.lw(reg, address, 0)
+        else:
+            reg = self.temps.alloc("float")
+            self.builder.flw(reg, address, 0)
+        self.temps.free(address)
+        return Value(reg, global_symbol.var_type, True)
+
+    def _element_address(self, location: Location, index_value: Value) -> Reg:
+        """Compute the address of ``base[index]`` into a fresh int temp."""
+        index_value = self._convert(index_value, "int")
+        address = self.temps.alloc("int")
+        if location.kind == "global":
+            self.builder.la(address, location.symbol)
+            self.builder.add(address, address, index_value.reg)
+        elif location.kind == "frame_array":
+            self.builder.addi(address, REG_FP, location.offset)
+            self.builder.add(address, address, index_value.reg)
+        elif location.kind == "param_array":
+            self.builder.add(address, location.reg, index_value.reg)
+        else:
+            raise CodegenError(f"cannot index a {location.kind} location")
+        self.temps.free_value(index_value)
+        return address
+
+    def _gen_index_load(self, expression: ast.Index) -> Value:
+        location = self._lookup_location(expression.base)
+        index_value = self._gen_expression(expression.index)
+        address = self._element_address(location, index_value)
+        if location.var_type == "int":
+            reg = self.temps.alloc("int")
+            self.builder.lw(reg, address, 0)
+        else:
+            reg = self.temps.alloc("float")
+            self.builder.flw(reg, address, 0)
+        self.temps.free(address)
+        return Value(reg, location.var_type, True)
+
+    def _store_to_location(self, location: Location, value: Value) -> None:
+        value = self._convert(value, location.var_type)
+        if location.kind == "reg":
+            if location.var_type == "int":
+                self.builder.mov(location.reg, value.reg)
+            else:
+                self.builder.fmov(location.reg, value.reg)
+        elif location.kind == "frame":
+            if location.var_type == "int":
+                self.builder.sw(value.reg, REG_FP, location.offset)
+            else:
+                self.builder.fsw(value.reg, REG_FP, location.offset)
+        elif location.kind == "global":
+            address = self.temps.alloc("int")
+            self.builder.la(address, location.symbol)
+            if location.var_type == "int":
+                self.builder.sw(value.reg, address, 0)
+            else:
+                self.builder.fsw(value.reg, address, 0)
+            self.temps.free(address)
+        else:
+            raise CodegenError(f"cannot assign to a {location.kind} location")
+        self.temps.free_value(value)
+
+    # ------------------------------------------------------------------
+    # Conversions and flags.
+    # ------------------------------------------------------------------
+    def _convert(self, value: Value, target_type: str) -> Value:
+        if value.type == target_type:
+            return value
+        if value.type == "int" and target_type == "float":
+            reg = self.temps.alloc("float")
+            self.builder.cvtif(reg, value.reg)
+            self.temps.free_value(value)
+            return Value(reg, "float", True)
+        if value.type == "float" and target_type == "int":
+            reg = self.temps.alloc("int")
+            self.builder.cvtfi(reg, value.reg)
+            self.temps.free_value(value)
+            return Value(reg, "int", True)
+        raise CodegenError(f"cannot convert {value.type} to {target_type}")
+
+    def _as_int_flag(self, value: Value) -> Value:
+        """Reduce a scalar to an int truth value (0 or non-zero)."""
+        if value.type == "int":
+            return value
+        zero = self.temps.alloc("float")
+        self.builder.fli(zero, 0.0)
+        flag = self.temps.alloc("int")
+        self.builder.feq(flag, value.reg, zero)
+        self.builder.xori(flag, flag, 1)
+        self.temps.free(zero)
+        self.temps.free_value(value)
+        return Value(flag, "int", True)
+
+    # ------------------------------------------------------------------
+    # Operators.
+    # ------------------------------------------------------------------
+    def _gen_binary(self, expression: ast.BinaryOp) -> Value:
+        if expression.op in ("&&", "||"):
+            return self._gen_logical(expression)
+        if expression.op in ("==", "!=", "<", "<=", ">", ">="):
+            return self._gen_comparison(expression)
+        left = self._gen_expression(expression.left)
+        right = self._gen_expression(expression.right)
+        result_type = expression.type
+        left = self._convert(left, result_type)
+        right = self._convert(right, result_type)
+        dest = self.temps.alloc(result_type)
+        b = self.builder
+        if result_type == "int":
+            emitters = {
+                "+": b.add, "-": b.sub, "*": b.mul, "/": b.div, "%": b.rem,
+                "&": b.and_, "|": b.or_, "^": b.xor, "<<": b.sll, ">>": b.sra,
+            }
+        else:
+            emitters = {"+": b.fadd, "-": b.fsub, "*": b.fmul, "/": b.fdiv}
+        emit = emitters.get(expression.op)
+        if emit is None:
+            raise CodegenError(f"operator {expression.op!r} unsupported for {result_type}")
+        emit(dest, left.reg, right.reg)
+        self.temps.free_value(left)
+        self.temps.free_value(right)
+        return Value(dest, result_type, True)
+
+    def _gen_comparison(self, expression: ast.BinaryOp) -> Value:
+        left = self._gen_expression(expression.left)
+        right = self._gen_expression(expression.right)
+        operand_type = "float" if "float" in (left.type, right.type) else "int"
+        left = self._convert(left, operand_type)
+        right = self._convert(right, operand_type)
+        dest = self.temps.alloc("int")
+        b = self.builder
+        op = expression.op
+        if operand_type == "int":
+            if op == "==":
+                b.seq(dest, left.reg, right.reg)
+            elif op == "!=":
+                b.sne(dest, left.reg, right.reg)
+            elif op == "<":
+                b.slt(dest, left.reg, right.reg)
+            elif op == "<=":
+                b.sle(dest, left.reg, right.reg)
+            elif op == ">":
+                b.slt(dest, right.reg, left.reg)
+            else:  # >=
+                b.sle(dest, right.reg, left.reg)
+        else:
+            if op == "==":
+                b.feq(dest, left.reg, right.reg)
+            elif op == "!=":
+                b.feq(dest, left.reg, right.reg)
+                b.xori(dest, dest, 1)
+            elif op == "<":
+                b.flt(dest, left.reg, right.reg)
+            elif op == "<=":
+                b.fle(dest, left.reg, right.reg)
+            elif op == ">":
+                b.flt(dest, right.reg, left.reg)
+            else:  # >=
+                b.fle(dest, right.reg, left.reg)
+        self.temps.free_value(left)
+        self.temps.free_value(right)
+        return Value(dest, "int", True)
+
+    def _gen_logical(self, expression: ast.BinaryOp) -> Value:
+        """Short-circuit ``&&`` / ``||`` producing 0 or 1."""
+        b = self.builder
+        end_label = b.fresh_label("logic_")
+        dest = self.temps.alloc("int")
+        if expression.op == "&&":
+            b.li(dest, 0)
+            left = self._as_int_flag(self._gen_expression(expression.left))
+            b.beqz(left.reg, end_label)
+            self.temps.free_value(left)
+            right = self._as_int_flag(self._gen_expression(expression.right))
+            b.beqz(right.reg, end_label)
+            self.temps.free_value(right)
+            b.li(dest, 1)
+        else:
+            b.li(dest, 1)
+            left = self._as_int_flag(self._gen_expression(expression.left))
+            b.bnez(left.reg, end_label)
+            self.temps.free_value(left)
+            right = self._as_int_flag(self._gen_expression(expression.right))
+            b.bnez(right.reg, end_label)
+            self.temps.free_value(right)
+            b.li(dest, 0)
+        b.label(end_label)
+        return Value(dest, "int", True)
+
+    def _gen_unary(self, expression: ast.UnaryOp) -> Value:
+        value = self._gen_expression(expression.operand)
+        b = self.builder
+        if expression.op == "-":
+            if value.type == "int":
+                dest = self.temps.alloc("int")
+                b.sub(dest, REG_ZERO, value.reg)
+            else:
+                dest = self.temps.alloc("float")
+                b.fneg(dest, value.reg)
+            self.temps.free_value(value)
+            return Value(dest, value.type, True)
+        if expression.op == "!":
+            value = self._as_int_flag(value)
+            dest = self.temps.alloc("int")
+            b.seq(dest, value.reg, REG_ZERO)
+            self.temps.free_value(value)
+            return Value(dest, "int", True)
+        if expression.op == "~":
+            dest = self.temps.alloc("int")
+            b.nor(dest, value.reg, REG_ZERO)
+            self.temps.free_value(value)
+            return Value(dest, "int", True)
+        raise CodegenError(f"unsupported unary operator {expression.op!r}")
+
+    # ------------------------------------------------------------------
+    # Calls.
+    # ------------------------------------------------------------------
+    def _gen_call(self, call: ast.Call) -> Optional[Value]:
+        if call.callee in ("out", "outf"):
+            value = self._gen_expression(call.arguments[0])
+            channel = 0
+            if len(call.arguments) == 2:
+                channel = call.arguments[1].value
+            if value.type == "int":
+                self.builder.out(value.reg, channel)
+            else:
+                self.builder.fout(value.reg, channel)
+            self.temps.free_value(value)
+            return None
+        if call.callee in ("sqrtf", "fabsf"):
+            value = self._convert(self._gen_expression(call.arguments[0]), "float")
+            dest = self.temps.alloc("float")
+            if call.callee == "sqrtf":
+                self.builder.fsqrt(dest, value.reg)
+            else:
+                self.builder.fabs(dest, value.reg)
+            self.temps.free_value(value)
+            return Value(dest, "float", True)
+        if call.callee in ("fminf", "fmaxf"):
+            left = self._convert(self._gen_expression(call.arguments[0]), "float")
+            right = self._convert(self._gen_expression(call.arguments[1]), "float")
+            dest = self.temps.alloc("float")
+            if call.callee == "fminf":
+                self.builder.fmin(dest, left.reg, right.reg)
+            else:
+                self.builder.fmax(dest, left.reg, right.reg)
+            self.temps.free_value(left)
+            self.temps.free_value(right)
+            return Value(dest, "float", True)
+
+        signature = self.analysis.functions.get(call.callee)
+        if signature is None:
+            raise CodegenError(f"call to unknown function {call.callee!r}")
+
+        b = self.builder
+        saved = self.temps.active()
+        if saved:
+            b.addi(REG_SP, REG_SP, -len(saved))
+            for slot, reg in enumerate(saved):
+                if reg.is_int:
+                    b.sw(reg, REG_SP, slot)
+                else:
+                    b.fsw(reg, REG_SP, slot)
+            for reg in saved:
+                self.temps.free(reg)
+
+        argument_values: List[Value] = []
+        for argument, param in zip(call.arguments, signature.params):
+            value = self._gen_expression(argument)
+            if not param.is_array:
+                value = self._convert(value, param.param_type)
+            argument_values.append(value)
+
+        int_arg = 0
+        float_arg = 0
+        for value, param in zip(argument_values, signature.params):
+            if param.is_array or param.param_type == "int":
+                if int_arg >= len(INT_ARG_INDICES):
+                    raise CodegenError(
+                        f"call to {call.callee!r}: too many integer-class arguments")
+                b.mov(R(INT_ARG_INDICES[int_arg]), value.reg)
+                int_arg += 1
+            else:
+                if float_arg >= len(FLOAT_ARG_INDICES):
+                    raise CodegenError(
+                        f"call to {call.callee!r}: too many float arguments")
+                b.fmov(F(FLOAT_ARG_INDICES[float_arg]), value.reg)
+                float_arg += 1
+        for value in argument_values:
+            self.temps.free_value(value)
+
+        b.jal(call.callee)
+
+        if saved:
+            self.temps.reacquire(saved)
+            for slot, reg in enumerate(saved):
+                if reg.is_int:
+                    b.lw(reg, REG_SP, slot)
+                else:
+                    b.flw(reg, REG_SP, slot)
+            b.addi(REG_SP, REG_SP, len(saved))
+
+        if signature.return_type == "void":
+            return None
+        if signature.return_type == "int":
+            dest = self.temps.alloc("int")
+            b.mov(dest, REG_RV)
+            return Value(dest, "int", True)
+        dest = self.temps.alloc("float")
+        b.fmov(dest, REG_FRV)
+        return Value(dest, "float", True)
+
+
+class CodeGenerator:
+    """Generates a whole program from a type-checked translation unit."""
+
+    def __init__(self, unit: ast.TranslationUnit, analysis: AnalysisResult,
+                 entry: str = "main") -> None:
+        self.unit = unit
+        self.analysis = analysis
+        self.builder = ProgramBuilder(entry=entry)
+
+    def generate(self) -> Program:
+        for declaration in self.unit.globals:
+            size = declaration.size if declaration.is_array else 1
+            self.builder.data(declaration.name, size, list(declaration.init))
+        for function in self.unit.functions:
+            FunctionGenerator(self, function).generate()
+        return self.builder.build()
+
+
+def compile_unit(unit: ast.TranslationUnit, entry: str = "main") -> Program:
+    """Type-check and compile an AST into a :class:`Program`."""
+    analysis = analyse(unit)
+    return CodeGenerator(unit, analysis, entry=entry).generate()

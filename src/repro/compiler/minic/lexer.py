@@ -1,0 +1,127 @@
+"""Tokenizer for MiniC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = {
+    "int",
+    "float",
+    "void",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "break",
+    "continue",
+    "reliable",
+    "tolerant",
+}
+
+# Multi-character operators must be matched before their prefixes.
+OPERATORS = [
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+]
+
+
+class LexerError(Exception):
+    """Raised when the source contains characters that cannot be tokenised."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str      # "ident", "int", "float", "keyword", "op", "eof"
+    text: str
+    line: int
+
+    @property
+    def int_value(self) -> int:
+        return int(self.text, 0)
+
+    @property
+    def float_value(self) -> float:
+        return float(self.text)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenise MiniC source text."""
+    tokens: List[Token] = []
+    line = 1
+    position = 0
+    length = len(source)
+
+    while position < length:
+        char = source[position]
+
+        if char == "\n":
+            line += 1
+            position += 1
+            continue
+        if char in " \t\r":
+            position += 1
+            continue
+
+        # Comments: // to end of line and /* ... */.
+        if source.startswith("//", position):
+            end = source.find("\n", position)
+            position = length if end < 0 else end
+            continue
+        if source.startswith("/*", position):
+            end = source.find("*/", position + 2)
+            if end < 0:
+                raise LexerError("unterminated block comment", line)
+            line += source.count("\n", position, end)
+            position = end + 2
+            continue
+
+        # Numbers (ints, hex ints, floats).
+        if char.isdigit() or (char == "." and position + 1 < length and source[position + 1].isdigit()):
+            start = position
+            is_float = False
+            if source.startswith("0x", position) or source.startswith("0X", position):
+                position += 2
+                while position < length and source[position] in "0123456789abcdefABCDEF":
+                    position += 1
+            else:
+                while position < length and (source[position].isdigit() or source[position] in ".eE+-"):
+                    current = source[position]
+                    if current in "+-" and source[position - 1] not in "eE":
+                        break
+                    if current in ".eE":
+                        is_float = True
+                    position += 1
+            text = source[start:position]
+            tokens.append(Token("float" if is_float else "int", text, line))
+            continue
+
+        # Identifiers and keywords.
+        if char.isalpha() or char == "_":
+            start = position
+            while position < length and (source[position].isalnum() or source[position] == "_"):
+                position += 1
+            text = source[start:position]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            continue
+
+        # Operators and punctuation.
+        for operator in OPERATORS:
+            if source.startswith(operator, position):
+                tokens.append(Token("op", operator, line))
+                position += len(operator)
+                break
+        else:
+            raise LexerError(f"unexpected character {char!r}", line)
+
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,376 @@
+"""Recursive-descent parser for MiniC."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from . import ast
+from .lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Raised when the source is not syntactically valid MiniC."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class Parser:
+    """Parses a token stream into a :class:`~repro.compiler.minic.ast.TranslationUnit`."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers.
+    # ------------------------------------------------------------------
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._position]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != "eof":
+            self._position += 1
+        return token
+
+    def _check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self._current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _match(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if self._check(kind, text):
+            return self._advance()
+        expectation = text or kind
+        raise ParseError(
+            f"expected {expectation!r}, found {self._current.text!r}", self._current.line
+        )
+
+    # ------------------------------------------------------------------
+    # Top level.
+    # ------------------------------------------------------------------
+    def parse(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit()
+        while not self._check("eof"):
+            reliability = "default"
+            if self._check("keyword", "reliable"):
+                self._advance()
+                reliability = "reliable"
+            elif self._check("keyword", "tolerant"):
+                self._advance()
+                reliability = "tolerant"
+
+            type_token = self._expect("keyword")
+            if type_token.text not in ("int", "float", "void"):
+                raise ParseError(f"expected a type, found {type_token.text!r}", type_token.line)
+            name_token = self._expect("ident")
+
+            if self._check("op", "("):
+                unit.functions.append(
+                    self._parse_function(type_token.text, name_token.text, reliability)
+                )
+            else:
+                if reliability != "default":
+                    raise ParseError(
+                        "reliability qualifiers only apply to functions", type_token.line
+                    )
+                if type_token.text == "void":
+                    raise ParseError("globals cannot be void", type_token.line)
+                unit.globals.append(
+                    self._parse_global(type_token.text, name_token.text, type_token.line)
+                )
+        return unit
+
+    def _parse_global(self, var_type: str, name: str, line: int) -> ast.GlobalDecl:
+        is_array = False
+        size = 1
+        init: List[float] = []
+        if self._match("op", "["):
+            is_array = True
+            size_token = self._expect("int")
+            size = size_token.int_value
+            self._expect("op", "]")
+        if self._match("op", "="):
+            if self._match("op", "{"):
+                while not self._check("op", "}"):
+                    init.append(self._parse_constant())
+                    if not self._match("op", ","):
+                        break
+                self._expect("op", "}")
+            else:
+                init.append(self._parse_constant())
+        self._expect("op", ";")
+        return ast.GlobalDecl(
+            name=name, var_type=var_type, is_array=is_array, size=size, init=init, line=line
+        )
+
+    def _parse_constant(self) -> float:
+        negative = bool(self._match("op", "-"))
+        token = self._advance()
+        if token.kind == "int":
+            value: float = token.int_value
+        elif token.kind == "float":
+            value = token.float_value
+        else:
+            raise ParseError(f"expected a numeric constant, found {token.text!r}", token.line)
+        return -value if negative else value
+
+    def _parse_function(self, return_type: str, name: str, reliability: str) -> ast.FuncDef:
+        line = self._current.line
+        self._expect("op", "(")
+        params: List[ast.Param] = []
+        if not self._check("op", ")"):
+            while True:
+                type_token = self._expect("keyword")
+                if type_token.text not in ("int", "float"):
+                    raise ParseError(
+                        f"expected parameter type, found {type_token.text!r}", type_token.line
+                    )
+                param_name = self._expect("ident").text
+                is_array = False
+                if self._match("op", "["):
+                    self._expect("op", "]")
+                    is_array = True
+                params.append(
+                    ast.Param(name=param_name, param_type=type_token.text,
+                              is_array=is_array, line=type_token.line)
+                )
+                if not self._match("op", ","):
+                    break
+        self._expect("op", ")")
+        body = self._parse_block()
+        return ast.FuncDef(
+            name=name, return_type=return_type, params=params, body=body,
+            reliability=reliability, line=line,
+        )
+
+    # ------------------------------------------------------------------
+    # Statements.
+    # ------------------------------------------------------------------
+    def _parse_block(self) -> ast.Block:
+        start = self._expect("op", "{")
+        statements: List[ast.Stmt] = []
+        while not self._check("op", "}"):
+            statements.append(self._parse_statement())
+        self._expect("op", "}")
+        return ast.Block(statements=statements, line=start.line)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._current
+        if token.kind == "op" and token.text == "{":
+            return self._parse_block()
+        if token.kind == "keyword":
+            if token.text in ("int", "float"):
+                return self._parse_local_decl()
+            if token.text == "if":
+                return self._parse_if()
+            if token.text == "while":
+                return self._parse_while()
+            if token.text == "for":
+                return self._parse_for()
+            if token.text == "return":
+                self._advance()
+                value = None
+                if not self._check("op", ";"):
+                    value = self._parse_expression()
+                self._expect("op", ";")
+                return ast.Return(value=value, line=token.line)
+            if token.text == "break":
+                self._advance()
+                self._expect("op", ";")
+                return ast.Break(line=token.line)
+            if token.text == "continue":
+                self._advance()
+                self._expect("op", ";")
+                return ast.Continue(line=token.line)
+        statement = self._parse_simple_statement()
+        self._expect("op", ";")
+        return statement
+
+    def _parse_local_decl(self) -> ast.Stmt:
+        type_token = self._advance()
+        name = self._expect("ident").text
+        is_array = False
+        size = 0
+        init = None
+        if self._match("op", "["):
+            is_array = True
+            size = self._expect("int").int_value
+            self._expect("op", "]")
+        if self._match("op", "="):
+            init = self._parse_expression()
+        self._expect("op", ";")
+        return ast.LocalDecl(
+            name=name, var_type=type_token.text, is_array=is_array, size=size,
+            init=init, line=type_token.line,
+        )
+
+    def _parse_if(self) -> ast.If:
+        token = self._advance()
+        self._expect("op", "(")
+        condition = self._parse_expression()
+        self._expect("op", ")")
+        then_body = self._parse_block_or_single()
+        else_body = None
+        if self._check("keyword", "else"):
+            self._advance()
+            if self._check("keyword", "if"):
+                nested = self._parse_if()
+                else_body = ast.Block(statements=[nested], line=nested.line)
+            else:
+                else_body = self._parse_block_or_single()
+        return ast.If(condition=condition, then_body=then_body, else_body=else_body,
+                      line=token.line)
+
+    def _parse_block_or_single(self) -> ast.Block:
+        if self._check("op", "{"):
+            return self._parse_block()
+        statement = self._parse_statement()
+        return ast.Block(statements=[statement], line=statement.line)
+
+    def _parse_while(self) -> ast.While:
+        token = self._advance()
+        self._expect("op", "(")
+        condition = self._parse_expression()
+        self._expect("op", ")")
+        body = self._parse_block_or_single()
+        return ast.While(condition=condition, body=body, line=token.line)
+
+    def _parse_for(self) -> ast.For:
+        token = self._advance()
+        self._expect("op", "(")
+        init: Optional[ast.Stmt] = None
+        if not self._check("op", ";"):
+            if self._check("keyword", "int") or self._check("keyword", "float"):
+                init = self._parse_local_decl()
+            else:
+                init = self._parse_simple_statement()
+                self._expect("op", ";")
+        else:
+            self._expect("op", ";")
+        condition = None
+        if not self._check("op", ";"):
+            condition = self._parse_expression()
+        self._expect("op", ";")
+        step = None
+        if not self._check("op", ")"):
+            step = self._parse_simple_statement()
+        self._expect("op", ")")
+        body = self._parse_block_or_single()
+        return ast.For(init=init, condition=condition, step=step, body=body, line=token.line)
+
+    def _parse_simple_statement(self) -> ast.Stmt:
+        """Assignment, compound assignment or bare expression (no semicolon)."""
+        line = self._current.line
+        expr = self._parse_expression()
+        if self._check("op") and self._current.text in ("=", "+=", "-=", "*=", "/=", "%=", "<<=", ">>="):
+            operator = self._advance().text
+            if not isinstance(expr, (ast.Name, ast.Index)):
+                raise ParseError("assignment target must be a variable or array element", line)
+            value = self._parse_expression()
+            if operator != "=":
+                value = ast.BinaryOp(op=operator[:-1], left=expr, right=value, line=line)
+            return ast.Assign(target=expr, value=value, line=line)
+        return ast.ExprStmt(expr=expr, line=line)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing).
+    # ------------------------------------------------------------------
+    _BINARY_LEVELS = [
+        ["||"],
+        ["&&"],
+        ["|"],
+        ["^"],
+        ["&"],
+        ["==", "!="],
+        ["<", "<=", ">", ">="],
+        ["<<", ">>"],
+        ["+", "-"],
+        ["*", "/", "%"],
+    ]
+
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_binary(0)
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(self._BINARY_LEVELS):
+            return self._parse_unary()
+        operators = self._BINARY_LEVELS[level]
+        left = self._parse_binary(level + 1)
+        while self._check("op") and self._current.text in operators:
+            operator = self._advance()
+            right = self._parse_binary(level + 1)
+            left = ast.BinaryOp(op=operator.text, left=left, right=right, line=operator.line)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._current
+        if token.kind == "op" and token.text in ("-", "!", "~"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryOp(op=token.text, operand=operand, line=token.line)
+        # Cast: "(" ("int" | "float") ")" unary
+        if (
+            token.kind == "op"
+            and token.text == "("
+            and self._peek().kind == "keyword"
+            and self._peek().text in ("int", "float")
+            and self._peek(2).kind == "op"
+            and self._peek(2).text == ")"
+        ):
+            self._advance()
+            target = self._advance().text
+            self._expect("op", ")")
+            operand = self._parse_unary()
+            return ast.Cast(target_type=target, operand=operand, line=token.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        token = self._current
+        if token.kind == "int":
+            self._advance()
+            return ast.IntLiteral(value=token.int_value, line=token.line)
+        if token.kind == "float":
+            self._advance()
+            return ast.FloatLiteral(value=token.float_value, line=token.line)
+        if token.kind == "ident":
+            self._advance()
+            name = token.text
+            if self._check("op", "("):
+                self._advance()
+                arguments: List[ast.Expr] = []
+                if not self._check("op", ")"):
+                    while True:
+                        arguments.append(self._parse_expression())
+                        if not self._match("op", ","):
+                            break
+                self._expect("op", ")")
+                return ast.Call(callee=name, arguments=arguments, line=token.line)
+            if self._check("op", "["):
+                self._advance()
+                index = self._parse_expression()
+                self._expect("op", "]")
+                return ast.Index(base=name, index=index, line=token.line)
+            return ast.Name(ident=name, line=token.line)
+        if token.kind == "op" and token.text == "(":
+            self._advance()
+            expr = self._parse_expression()
+            self._expect("op", ")")
+            return expr
+        raise ParseError(f"unexpected token {token.text!r}", token.line)
+
+
+def parse_source(source: str) -> ast.TranslationUnit:
+    """Parse MiniC source text into an AST."""
+    return Parser(tokenize(source)).parse()

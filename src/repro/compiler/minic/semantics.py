@@ -1,0 +1,348 @@
+"""Semantic analysis for MiniC: scopes, types, and call signatures.
+
+The analyser validates the translation unit, annotates every expression with
+its type (``"int"`` or ``"float"``; array names passed as call arguments get
+``"int[]"``/``"float[]"``), and reports helpful errors referencing source
+lines.  The code generator relies on these annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from . import ast
+
+
+class SemanticError(Exception):
+    """Raised when the program is syntactically valid but ill-typed."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+@dataclass
+class VariableSymbol:
+    name: str
+    var_type: str       # "int" or "float"
+    is_array: bool
+    size: int = 0
+    is_global: bool = False
+    is_param: bool = False
+
+
+@dataclass
+class FunctionSymbol:
+    name: str
+    return_type: str
+    params: List[ast.Param]
+    eligible: bool = True
+
+
+#: Intrinsic functions available without declaration.
+INTRINSICS: Dict[str, FunctionSymbol] = {
+    "out": FunctionSymbol("out", "void", [ast.Param(name="value", param_type="int")]),
+    "outf": FunctionSymbol("outf", "void", [ast.Param(name="value", param_type="float")]),
+    "sqrtf": FunctionSymbol("sqrtf", "float", [ast.Param(name="value", param_type="float")]),
+    "fabsf": FunctionSymbol("fabsf", "float", [ast.Param(name="value", param_type="float")]),
+    "fminf": FunctionSymbol("fminf", "float", [ast.Param(name="a", param_type="float"),
+                                               ast.Param(name="b", param_type="float")]),
+    "fmaxf": FunctionSymbol("fmaxf", "float", [ast.Param(name="a", param_type="float"),
+                                               ast.Param(name="b", param_type="float")]),
+}
+
+
+@dataclass
+class Scope:
+    """A lexical scope of local variables."""
+
+    parent: Optional["Scope"] = None
+    variables: Dict[str, VariableSymbol] = field(default_factory=dict)
+
+    def declare(self, symbol: VariableSymbol, line: int) -> None:
+        if symbol.name in self.variables:
+            raise SemanticError(f"redeclaration of {symbol.name!r}", line)
+        self.variables[symbol.name] = symbol
+
+    def lookup(self, name: str) -> Optional[VariableSymbol]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope.variables:
+                return scope.variables[name]
+            scope = scope.parent
+        return None
+
+
+@dataclass
+class AnalysisResult:
+    """Symbol information collected by :func:`analyse`."""
+
+    globals: Dict[str, VariableSymbol]
+    functions: Dict[str, FunctionSymbol]
+
+
+class SemanticAnalyser:
+    """Checks a translation unit and annotates expression types in place."""
+
+    def __init__(self, unit: ast.TranslationUnit) -> None:
+        self.unit = unit
+        self.globals: Dict[str, VariableSymbol] = {}
+        self.functions: Dict[str, FunctionSymbol] = {}
+        self._current_function: Optional[FunctionSymbol] = None
+        self._loop_depth = 0
+
+    # ------------------------------------------------------------------
+    # Entry point.
+    # ------------------------------------------------------------------
+    def analyse(self) -> AnalysisResult:
+        for declaration in self.unit.globals:
+            if declaration.name in self.globals:
+                raise SemanticError(f"redeclaration of global {declaration.name!r}",
+                                    declaration.line)
+            if not declaration.is_array and len(declaration.init) > 1:
+                raise SemanticError(
+                    f"scalar global {declaration.name!r} has an aggregate initialiser",
+                    declaration.line)
+            if declaration.is_array and len(declaration.init) > declaration.size:
+                raise SemanticError(
+                    f"too many initialisers for {declaration.name!r}", declaration.line)
+            self.globals[declaration.name] = VariableSymbol(
+                name=declaration.name,
+                var_type=declaration.var_type,
+                is_array=declaration.is_array,
+                size=declaration.size if declaration.is_array else 1,
+                is_global=True,
+            )
+
+        for function in self.unit.functions:
+            if function.name in self.functions or function.name in INTRINSICS:
+                raise SemanticError(f"redefinition of function {function.name!r}",
+                                    function.line)
+            self.functions[function.name] = FunctionSymbol(
+                name=function.name,
+                return_type=function.return_type,
+                params=function.params,
+                eligible=function.eligible,
+            )
+
+        if "main" not in self.functions:
+            raise SemanticError("program has no 'main' function")
+
+        for function in self.unit.functions:
+            self._check_function(function)
+
+        return AnalysisResult(globals=self.globals, functions=self.functions)
+
+    # ------------------------------------------------------------------
+    # Functions and statements.
+    # ------------------------------------------------------------------
+    def _check_function(self, function: ast.FuncDef) -> None:
+        self._current_function = self.functions[function.name]
+        scope = Scope()
+        for param in function.params:
+            scope.declare(
+                VariableSymbol(
+                    name=param.name,
+                    var_type=param.param_type,
+                    is_array=param.is_array,
+                    is_param=True,
+                ),
+                param.line,
+            )
+        self._check_block(function.body, Scope(parent=scope))
+        self._current_function = None
+
+    def _check_block(self, block: ast.Block, scope: Scope) -> None:
+        for statement in block.statements:
+            self._check_statement(statement, scope)
+
+    def _check_statement(self, statement: ast.Stmt, scope: Scope) -> None:
+        if isinstance(statement, ast.Block):
+            self._check_block(statement, Scope(parent=scope))
+        elif isinstance(statement, ast.LocalDecl):
+            if statement.is_array and statement.size <= 0:
+                raise SemanticError(
+                    f"array {statement.name!r} must have positive size", statement.line)
+            if statement.is_array and statement.init is not None:
+                raise SemanticError(
+                    f"local array {statement.name!r} cannot have an initialiser",
+                    statement.line)
+            if statement.init is not None:
+                self._check_expression(statement.init, scope)
+                self._require_scalar(statement.init, statement.line)
+            scope.declare(
+                VariableSymbol(
+                    name=statement.name,
+                    var_type=statement.var_type,
+                    is_array=statement.is_array,
+                    size=statement.size,
+                ),
+                statement.line,
+            )
+        elif isinstance(statement, ast.Assign):
+            target_type = self._check_expression(statement.target, scope)
+            if target_type not in ("int", "float"):
+                raise SemanticError("cannot assign to an array name", statement.line)
+            if isinstance(statement.target, ast.Name):
+                symbol = scope.lookup(statement.target.ident) or self.globals.get(
+                    statement.target.ident)
+                if symbol is not None and symbol.is_array:
+                    raise SemanticError("cannot assign to an array name", statement.line)
+            self._check_expression(statement.value, scope)
+            self._require_scalar(statement.value, statement.line)
+        elif isinstance(statement, ast.If):
+            self._check_condition(statement.condition, scope)
+            self._check_block(statement.then_body, Scope(parent=scope))
+            if statement.else_body is not None:
+                self._check_block(statement.else_body, Scope(parent=scope))
+        elif isinstance(statement, ast.While):
+            self._check_condition(statement.condition, scope)
+            self._loop_depth += 1
+            self._check_block(statement.body, Scope(parent=scope))
+            self._loop_depth -= 1
+        elif isinstance(statement, ast.For):
+            inner = Scope(parent=scope)
+            if statement.init is not None:
+                self._check_statement(statement.init, inner)
+            if statement.condition is not None:
+                self._check_condition(statement.condition, inner)
+            if statement.step is not None:
+                self._check_statement(statement.step, inner)
+            self._loop_depth += 1
+            self._check_block(statement.body, Scope(parent=inner))
+            self._loop_depth -= 1
+        elif isinstance(statement, ast.Return):
+            return_type = self._current_function.return_type
+            if statement.value is None:
+                if return_type != "void":
+                    raise SemanticError(
+                        f"function {self._current_function.name!r} must return a value",
+                        statement.line)
+            else:
+                if return_type == "void":
+                    raise SemanticError(
+                        f"void function {self._current_function.name!r} returns a value",
+                        statement.line)
+                self._check_expression(statement.value, scope)
+                self._require_scalar(statement.value, statement.line)
+        elif isinstance(statement, (ast.Break, ast.Continue)):
+            if self._loop_depth == 0:
+                raise SemanticError("break/continue outside of a loop", statement.line)
+        elif isinstance(statement, ast.ExprStmt):
+            self._check_expression(statement.expr, scope)
+        else:  # pragma: no cover - parser produces only the above
+            raise SemanticError(f"unknown statement {type(statement).__name__}",
+                                statement.line)
+
+    def _check_condition(self, condition: ast.Expr, scope: Scope) -> None:
+        condition_type = self._check_expression(condition, scope)
+        if condition_type not in ("int", "float"):
+            raise SemanticError("condition must be a scalar expression", condition.line)
+
+    # ------------------------------------------------------------------
+    # Expressions.
+    # ------------------------------------------------------------------
+    def _require_scalar(self, expression: ast.Expr, line: int) -> None:
+        if expression.type not in ("int", "float"):
+            raise SemanticError("expected a scalar expression", line)
+
+    def _check_expression(self, expression: ast.Expr, scope: Scope) -> str:
+        if isinstance(expression, ast.IntLiteral):
+            expression.type = "int"
+        elif isinstance(expression, ast.FloatLiteral):
+            expression.type = "float"
+        elif isinstance(expression, ast.Name):
+            symbol = scope.lookup(expression.ident) or self.globals.get(expression.ident)
+            if symbol is None:
+                raise SemanticError(f"undeclared variable {expression.ident!r}",
+                                    expression.line)
+            expression.type = f"{symbol.var_type}[]" if symbol.is_array else symbol.var_type
+        elif isinstance(expression, ast.Index):
+            symbol = scope.lookup(expression.base) or self.globals.get(expression.base)
+            if symbol is None:
+                raise SemanticError(f"undeclared array {expression.base!r}", expression.line)
+            if not symbol.is_array:
+                raise SemanticError(f"{expression.base!r} is not an array", expression.line)
+            index_type = self._check_expression(expression.index, scope)
+            if index_type != "int":
+                raise SemanticError("array index must be an int expression", expression.line)
+            expression.type = symbol.var_type
+        elif isinstance(expression, ast.BinaryOp):
+            left = self._check_expression(expression.left, scope)
+            right = self._check_expression(expression.right, scope)
+            if left not in ("int", "float") or right not in ("int", "float"):
+                raise SemanticError(
+                    f"operator {expression.op!r} needs scalar operands", expression.line)
+            if expression.op in ("%", "<<", ">>", "&", "|", "^", "&&", "||"):
+                if left != "int" or right != "int":
+                    raise SemanticError(
+                        f"operator {expression.op!r} requires int operands", expression.line)
+                expression.type = "int"
+            elif expression.op in ("==", "!=", "<", "<=", ">", ">="):
+                expression.type = "int"
+            else:
+                expression.type = "float" if "float" in (left, right) else "int"
+        elif isinstance(expression, ast.UnaryOp):
+            operand = self._check_expression(expression.operand, scope)
+            if expression.op == "-":
+                if operand not in ("int", "float"):
+                    raise SemanticError("unary '-' needs a scalar operand", expression.line)
+                expression.type = operand
+            else:
+                if operand != "int":
+                    raise SemanticError(
+                        f"unary {expression.op!r} requires an int operand", expression.line)
+                expression.type = "int"
+        elif isinstance(expression, ast.Cast):
+            self._check_expression(expression.operand, scope)
+            self._require_scalar(expression.operand, expression.line)
+            expression.type = expression.target_type
+        elif isinstance(expression, ast.Call):
+            expression.type = self._check_call(expression, scope)
+        else:  # pragma: no cover - parser produces only the above
+            raise SemanticError(f"unknown expression {type(expression).__name__}",
+                                expression.line)
+        return expression.type
+
+    def _check_call(self, call: ast.Call, scope: Scope) -> str:
+        signature = self.functions.get(call.callee) or INTRINSICS.get(call.callee)
+        if signature is None:
+            raise SemanticError(f"call to undeclared function {call.callee!r}", call.line)
+
+        # ``out``/``outf`` accept an optional second argument naming the channel.
+        if call.callee in ("out", "outf"):
+            if len(call.arguments) not in (1, 2):
+                raise SemanticError(f"{call.callee} expects 1 or 2 arguments", call.line)
+            value_type = self._check_expression(call.arguments[0], scope)
+            if value_type not in ("int", "float"):
+                raise SemanticError(f"{call.callee} expects a scalar value", call.line)
+            if len(call.arguments) == 2:
+                if not isinstance(call.arguments[1], ast.IntLiteral):
+                    raise SemanticError(
+                        f"{call.callee} channel must be an integer literal", call.line)
+                call.arguments[1].type = "int"
+            return "void"
+
+        if len(call.arguments) != len(signature.params):
+            raise SemanticError(
+                f"{call.callee} expects {len(signature.params)} arguments, "
+                f"got {len(call.arguments)}", call.line)
+        for argument, param in zip(call.arguments, signature.params):
+            argument_type = self._check_expression(argument, scope)
+            if param.is_array:
+                if argument_type != f"{param.param_type}[]":
+                    raise SemanticError(
+                        f"argument {param.name!r} of {call.callee} must be a "
+                        f"{param.param_type} array", call.line)
+            else:
+                if argument_type not in ("int", "float"):
+                    raise SemanticError(
+                        f"argument {param.name!r} of {call.callee} must be scalar",
+                        call.line)
+        return signature.return_type
+
+
+def analyse(unit: ast.TranslationUnit) -> AnalysisResult:
+    """Type-check ``unit`` and return collected symbol information."""
+    return SemanticAnalyser(unit).analyse()

@@ -1,0 +1,38 @@
+"""Compiler analyses: CFG, data-flow framework, call graph, control tagging."""
+
+from .callgraph import CallGraph, build_call_graph
+from .cfg import BasicBlock, ControlFlowGraph, build_cfg
+from .control_tagging import (
+    MEM,
+    ControlTaggingPass,
+    TaggingReport,
+    clear_tags,
+    tag_control_data,
+)
+from .dataflow import (
+    DataflowAnalysis,
+    DataflowResult,
+    LivenessAnalysis,
+    ReachingDefinitions,
+    compute_liveness,
+    compute_reaching_definitions,
+)
+
+__all__ = [
+    "BasicBlock",
+    "CallGraph",
+    "ControlFlowGraph",
+    "ControlTaggingPass",
+    "DataflowAnalysis",
+    "DataflowResult",
+    "LivenessAnalysis",
+    "MEM",
+    "ReachingDefinitions",
+    "TaggingReport",
+    "build_call_graph",
+    "build_cfg",
+    "clear_tags",
+    "compute_liveness",
+    "compute_reaching_definitions",
+    "tag_control_data",
+]

@@ -1,0 +1,299 @@
+"""Control-data tagging: the paper's static analysis (Section 3).
+
+The analysis identifies arithmetic instructions whose results can never
+reach a control-flow decision.  Those instructions are tagged *low
+reliability* — under the paper's model they may run on unreliable hardware
+(equivalently: they are the only instructions that receive injected bit
+flips under "protection ON").
+
+Algorithm
+---------
+The paper describes a backward walk maintaining a set ``CVar`` of variables
+likely to influence control flow:
+
+* a branch adds its source registers to ``CVar``;
+* an instruction defining a register in ``CVar`` removes that register and
+  adds the registers it uses (the definition now carries the control
+  dependence);
+* an arithmetic instruction whose destination is **not** in ``CVar`` is
+  tagged;
+* loads terminate chains (the paper performs no memory disambiguation), so
+  a load of a ``CVar`` register removes it without adding anything;
+* the walk crosses basic-block and procedure boundaries until ``CVar``
+  stabilises.
+
+We implement this as a whole-program backward data-flow fixed point over
+the interprocedural CFG.  The per-program-point set of *control-live*
+registers is exactly ``CVar``; an arithmetic instruction is tagged iff its
+destination is not control-live immediately after the instruction.
+
+Options
+-------
+``protect_addresses`` (default False)
+    Also treat the address operand of loads and stores as control data, so
+    the entire address computation chain stays protected.  The paper's rule
+    tags address arithmetic (loads terminate ``CVar`` chains and add
+    nothing), which is what the default reproduces; enabling this option is
+    the "protect addresses too" ablation quantified by
+    ``benchmarks/test_ablation_tagging.py``.
+``protect_stack_registers`` (default True)
+    Never tag instructions whose destination is the stack or frame pointer.
+    The original MIPS binaries manage the stack with a handful of
+    ``addiu $sp`` instructions whose corruption is indistinguishable from a
+    control-flow attack on the calling convention; keeping them reliable
+    matches the paper's observation that protected runs of Susan/MPEG/GSM
+    essentially never fail catastrophically.
+``track_memory`` (default False)
+    Conservative memory extension: loads add an abstract ``MEM`` location
+    (plus their address register) to ``CVar``, and stores performed while
+    ``MEM`` is control-live add the stored register.  This closes the
+    load/store hole the paper explicitly leaves open ("Because we perform
+    no memory disambiguation ...", Section 5.1) at the cost of protecting
+    many more instructions.
+``respect_eligibility`` (default True)
+    Only tag instructions inside functions the programmer marked eligible
+    (Section 4: "Only functions that were user-identified as eligible were
+    tagged").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Union
+
+from ...isa import Instruction, Opcode, Program, Reg
+from ...isa.registers import REG_FP, REG_SP, REG_ZERO
+from .cfg import BasicBlock, ControlFlowGraph, build_cfg
+
+#: Abstract memory location used when ``track_memory`` is enabled.
+MEM = "MEM"
+
+#: Registers that are never tagged when ``protect_stack_registers`` is on.
+STACK_REGISTERS = frozenset({REG_SP, REG_FP})
+
+CVarElement = Union[Reg, str]
+
+
+@dataclass
+class TaggingReport:
+    """Result of running the control-data tagging pass."""
+
+    tagged_indices: List[int]
+    protected_indices: List[int]
+    static_total: int
+    static_arithmetic: int
+    options: Dict[str, bool]
+    #: Control-live set immediately after each instruction (``CVar`` at the
+    #: point where the tagging decision for that instruction is made).
+    control_live_out: Dict[int, FrozenSet[CVarElement]] = field(default_factory=dict)
+
+    @property
+    def static_tagged(self) -> int:
+        return len(self.tagged_indices)
+
+    @property
+    def static_tagged_fraction(self) -> float:
+        if self.static_total == 0:
+            return 0.0
+        return self.static_tagged / self.static_total
+
+    @property
+    def static_tagged_fraction_of_arithmetic(self) -> float:
+        if self.static_arithmetic == 0:
+            return 0.0
+        return self.static_tagged / self.static_arithmetic
+
+    def summary(self) -> str:
+        return (
+            f"tagged {self.static_tagged}/{self.static_total} static instructions "
+            f"({100.0 * self.static_tagged_fraction:.1f}%), "
+            f"{100.0 * self.static_tagged_fraction_of_arithmetic:.1f}% of arithmetic"
+        )
+
+
+class ControlTaggingPass:
+    """The paper's static analysis, applied in place to a program."""
+
+    def __init__(
+        self,
+        protect_addresses: bool = False,
+        track_memory: bool = False,
+        respect_eligibility: bool = True,
+        protect_stack_registers: bool = True,
+    ) -> None:
+        self.protect_addresses = protect_addresses
+        self.track_memory = track_memory
+        self.respect_eligibility = respect_eligibility
+        self.protect_stack_registers = protect_stack_registers
+
+    # ------------------------------------------------------------------
+    # Transfer function: one instruction, backward.
+    # ------------------------------------------------------------------
+    def _transfer_instruction(
+        self, instruction: Instruction, state: Set[CVarElement]
+    ) -> Set[CVarElement]:
+        """Compute ``CVar`` before ``instruction`` given ``CVar`` after it."""
+        op = instruction.op
+
+        # Control instructions add their register uses: branch conditions,
+        # indirect jump targets and (for calls) nothing beyond the linkage.
+        if instruction.is_branch or op is Opcode.JR:
+            state = set(state)
+            state.update(instruction.uses())
+            return state
+
+        if op in (Opcode.SW, Opcode.FSW):
+            state = set(state)
+            if self.protect_addresses and instruction.rs1 is not None:
+                state.add(instruction.rs1)
+            if self.track_memory and MEM in state:
+                if instruction.rs2 is not None:
+                    state.add(instruction.rs2)
+            return state
+
+        defs = instruction.defs()
+        if not defs:
+            return state
+
+        destination = defs[0]
+        state = set(state)
+
+        if op in (Opcode.LW, Opcode.FLW):
+            if destination in state:
+                state.discard(destination)
+                if self.track_memory:
+                    state.add(MEM)
+                    if instruction.rs1 is not None:
+                        state.add(instruction.rs1)
+            if self.protect_addresses and instruction.rs1 is not None:
+                state.add(instruction.rs1)
+            return state
+
+        if destination in state:
+            state.discard(destination)
+            state.update(instruction.uses())
+        return state
+
+    def _transfer_block(
+        self, cfg: ControlFlowGraph, block: BasicBlock, state: Set[CVarElement]
+    ) -> Set[CVarElement]:
+        for index in reversed(list(block.instruction_indices())):
+            state = self._transfer_instruction(cfg.program.instructions[index], state)
+        return state
+
+    # ------------------------------------------------------------------
+    # Fixed point.
+    # ------------------------------------------------------------------
+    def _solve(self, cfg: ControlFlowGraph) -> Dict[int, Set[CVarElement]]:
+        """Block-level fixed point; returns ``CVar`` at each block's exit."""
+        blocks = cfg.blocks
+        block_in: Dict[int, Set[CVarElement]] = {b.index: set() for b in blocks}
+        block_out: Dict[int, Set[CVarElement]] = {b.index: set() for b in blocks}
+
+        worklist = [b.index for b in blocks]
+        in_worklist = set(worklist)
+        while worklist:
+            index = worklist.pop()
+            in_worklist.discard(index)
+            block = blocks[index]
+            outgoing: Set[CVarElement] = set()
+            for successor in block.successors:
+                outgoing |= block_in[successor]
+            block_out[index] = outgoing
+            new_in = self._transfer_block(cfg, block, outgoing)
+            if new_in != block_in[index]:
+                block_in[index] = new_in
+                for predecessor in block.predecessors:
+                    if predecessor not in in_worklist:
+                        worklist.append(predecessor)
+                        in_worklist.add(predecessor)
+        return block_out
+
+    # ------------------------------------------------------------------
+    # Public entry point.
+    # ------------------------------------------------------------------
+    def run(self, program: Program, cfg: Optional[ControlFlowGraph] = None) -> TaggingReport:
+        """Tag ``program`` in place and return a :class:`TaggingReport`."""
+        if cfg is None:
+            cfg = build_cfg(program, interprocedural=True)
+        block_out = self._solve(cfg)
+
+        tagged: List[int] = []
+        protected: List[int] = []
+        control_live_out: Dict[int, FrozenSet[CVarElement]] = {}
+        static_arithmetic = 0
+
+        eligible_functions = {
+            name for name, info in program.functions.items() if info.eligible
+        }
+
+        for block in cfg.blocks:
+            state = set(block_out[block.index])
+            for index in reversed(list(block.instruction_indices())):
+                instruction = program.instructions[index]
+                control_live_out[index] = frozenset(state)
+                if instruction.is_arithmetic:
+                    static_arithmetic += 1
+                    destination = instruction.defs()[0] if instruction.defs() else None
+                    eligible = (
+                        not self.respect_eligibility
+                        or instruction.function is None
+                        or instruction.function in eligible_functions
+                    )
+                    stack_protected = (
+                        self.protect_stack_registers and destination in STACK_REGISTERS
+                    )
+                    if (
+                        destination is not None
+                        and destination != REG_ZERO
+                        and destination not in state
+                        and not stack_protected
+                        and eligible
+                    ):
+                        instruction.low_reliability = True
+                        tagged.append(index)
+                    else:
+                        instruction.low_reliability = False
+                        protected.append(index)
+                else:
+                    instruction.low_reliability = False
+                    protected.append(index)
+                state = self._transfer_instruction(instruction, state)
+
+        tagged.sort()
+        protected.sort()
+        return TaggingReport(
+            tagged_indices=tagged,
+            protected_indices=protected,
+            static_total=len(program.instructions),
+            static_arithmetic=static_arithmetic,
+            options={
+                "protect_addresses": self.protect_addresses,
+                "track_memory": self.track_memory,
+                "respect_eligibility": self.respect_eligibility,
+                "protect_stack_registers": self.protect_stack_registers,
+            },
+            control_live_out=control_live_out,
+        )
+
+
+def tag_control_data(
+    program: Program,
+    protect_addresses: bool = False,
+    track_memory: bool = False,
+    respect_eligibility: bool = True,
+    protect_stack_registers: bool = True,
+) -> TaggingReport:
+    """Convenience function: run :class:`ControlTaggingPass` on ``program``."""
+    return ControlTaggingPass(
+        protect_addresses=protect_addresses,
+        track_memory=track_memory,
+        respect_eligibility=respect_eligibility,
+        protect_stack_registers=protect_stack_registers,
+    ).run(program)
+
+
+def clear_tags(program: Program) -> None:
+    """Remove all low-reliability tags (used to model 'static analysis OFF')."""
+    for instruction in program.instructions:
+        instruction.low_reliability = False

@@ -1,0 +1,179 @@
+"""Generic iterative data-flow framework plus two standard analyses.
+
+The paper frames its control-data identification as "the technique ...
+used in contemporary compilers to determine reaching definitions" (Section
+3).  This module provides the conventional framework — a worklist solver
+over block-level transfer functions — together with register liveness and
+reaching definitions.  The control-data tagging pass builds on the same CFG
+but uses a specialised transfer function (see
+:mod:`repro.compiler.passes.control_tagging`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Generic, Iterable, List, Set, Tuple, TypeVar
+
+from ...isa import Instruction, Reg
+from .cfg import BasicBlock, ControlFlowGraph
+
+T = TypeVar("T")
+
+
+@dataclass
+class DataflowResult(Generic[T]):
+    """Per-block input/output sets of an analysis."""
+
+    block_in: Dict[int, Set[T]]
+    block_out: Dict[int, Set[T]]
+
+
+class DataflowAnalysis(Generic[T]):
+    """Iterative worklist solver.
+
+    Subclasses define the direction, the initial set, and the per-block
+    transfer function.  The meet operator is set union (may analyses), which
+    covers both analyses shipped here and the control-data tagging pass.
+    """
+
+    #: "forward" or "backward"
+    direction: str = "forward"
+
+    def initial(self, block: BasicBlock) -> Set[T]:
+        """Initial set for every block (usually empty)."""
+        return set()
+
+    def boundary(self, block: BasicBlock) -> Set[T]:
+        """Extra facts injected at the boundary blocks (entry or exits)."""
+        return set()
+
+    def transfer(self, block: BasicBlock, state: Set[T]) -> Set[T]:
+        """Apply the block's transfer function to ``state``."""
+        raise NotImplementedError
+
+    def solve(self, cfg: ControlFlowGraph) -> DataflowResult[T]:
+        blocks = cfg.blocks
+        block_in: Dict[int, Set[T]] = {b.index: self.initial(b) for b in blocks}
+        block_out: Dict[int, Set[T]] = {b.index: self.initial(b) for b in blocks}
+
+        worklist: List[int] = [b.index for b in blocks]
+        in_worklist = set(worklist)
+        forward = self.direction == "forward"
+
+        while worklist:
+            index = worklist.pop()
+            in_worklist.discard(index)
+            block = blocks[index]
+            if forward:
+                incoming: Set[T] = set(self.boundary(block))
+                for predecessor in block.predecessors:
+                    incoming |= block_out[predecessor]
+                block_in[index] = incoming
+                new_out = self.transfer(block, incoming)
+                if new_out != block_out[index]:
+                    block_out[index] = new_out
+                    for successor in block.successors:
+                        if successor not in in_worklist:
+                            worklist.append(successor)
+                            in_worklist.add(successor)
+            else:
+                outgoing: Set[T] = set(self.boundary(block))
+                for successor in block.successors:
+                    outgoing |= block_in[successor]
+                block_out[index] = outgoing
+                new_in = self.transfer(block, outgoing)
+                if new_in != block_in[index]:
+                    block_in[index] = new_in
+                    for predecessor in block.predecessors:
+                        if predecessor not in in_worklist:
+                            worklist.append(predecessor)
+                            in_worklist.add(predecessor)
+
+        return DataflowResult(block_in=block_in, block_out=block_out)
+
+
+# ----------------------------------------------------------------------
+# Register liveness.
+# ----------------------------------------------------------------------
+class LivenessAnalysis(DataflowAnalysis[Reg]):
+    """Classic backward register liveness at basic-block granularity."""
+
+    direction = "backward"
+
+    def __init__(self, cfg: ControlFlowGraph) -> None:
+        self._cfg = cfg
+
+    def transfer(self, block: BasicBlock, state: Set[Reg]) -> Set[Reg]:
+        live = set(state)
+        for instruction in reversed(self._cfg.block_instructions(block)):
+            for reg in instruction.defs():
+                live.discard(reg)
+            for reg in instruction.uses():
+                live.add(reg)
+        return live
+
+    def per_instruction_live_out(self, result: DataflowResult[Reg]) -> Dict[int, Set[Reg]]:
+        """Expand the block-level solution to per-instruction live-out sets."""
+        live_out: Dict[int, Set[Reg]] = {}
+        for block in self._cfg.blocks:
+            live = set(result.block_out[block.index])
+            for index in reversed(list(block.instruction_indices())):
+                instruction = self._cfg.program.instructions[index]
+                live_out[index] = set(live)
+                for reg in instruction.defs():
+                    live.discard(reg)
+                for reg in instruction.uses():
+                    live.add(reg)
+        return live_out
+
+
+def compute_liveness(cfg: ControlFlowGraph) -> Dict[int, Set[Reg]]:
+    """Convenience wrapper returning live-out registers per instruction."""
+    analysis = LivenessAnalysis(cfg)
+    return analysis.per_instruction_live_out(analysis.solve(cfg))
+
+
+# ----------------------------------------------------------------------
+# Reaching definitions.
+# ----------------------------------------------------------------------
+Definition = Tuple[Reg, int]  # (register, defining instruction index)
+
+
+class ReachingDefinitions(DataflowAnalysis[Definition]):
+    """Classic forward reaching-definitions analysis over registers."""
+
+    direction = "forward"
+
+    def __init__(self, cfg: ControlFlowGraph) -> None:
+        self._cfg = cfg
+
+    def transfer(self, block: BasicBlock, state: Set[Definition]) -> Set[Definition]:
+        reaching = set(state)
+        for index in block.instruction_indices():
+            instruction = self._cfg.program.instructions[index]
+            for reg in instruction.defs():
+                reaching = {d for d in reaching if d[0] != reg}
+                reaching.add((reg, index))
+        return reaching
+
+    def def_use_chains(self, result: DataflowResult[Definition]) -> Dict[int, List[int]]:
+        """Map each defining instruction index to the indices that use it."""
+        uses: Dict[int, List[int]] = {}
+        for block in self._cfg.blocks:
+            reaching = set(result.block_in[block.index])
+            for index in block.instruction_indices():
+                instruction = self._cfg.program.instructions[index]
+                for reg in instruction.uses():
+                    for definition_reg, definition_index in reaching:
+                        if definition_reg == reg:
+                            uses.setdefault(definition_index, []).append(index)
+                for reg in instruction.defs():
+                    reaching = {d for d in reaching if d[0] != reg}
+                    reaching.add((reg, index))
+        return uses
+
+
+def compute_reaching_definitions(cfg: ControlFlowGraph) -> Dict[int, List[int]]:
+    """Convenience wrapper returning def-use chains (def index -> use indices)."""
+    analysis = ReachingDefinitions(cfg)
+    return analysis.def_use_chains(analysis.solve(cfg))

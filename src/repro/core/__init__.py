@@ -1,0 +1,25 @@
+"""Core experiment machinery: applications, campaigns, outcomes, reporting."""
+
+from .app import WATCHDOG_FACTOR, ErrorTolerantApp, GoldenRun
+from .campaign import CampaignConfig, CampaignRunner, run_quick_campaign
+from .fidelity import FidelityMeasure, FidelityResult
+from .outcomes import CampaignResult, RunRecord, SweepResult
+from .report import FigureData, Series, TableData, format_table
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "CampaignRunner",
+    "ErrorTolerantApp",
+    "FidelityMeasure",
+    "FidelityResult",
+    "FigureData",
+    "GoldenRun",
+    "RunRecord",
+    "Series",
+    "SweepResult",
+    "TableData",
+    "WATCHDOG_FACTOR",
+    "format_table",
+    "run_quick_campaign",
+]

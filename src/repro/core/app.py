@@ -1,0 +1,169 @@
+"""Benchmark application interface.
+
+Every application in :mod:`repro.apps` subclasses
+:class:`ErrorTolerantApp`.  The base class owns compilation, control-data
+tagging and golden-run caching so that fault-injection campaigns pay those
+costs once per application instance.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..compiler.minic import compile_source
+from ..compiler.passes import ControlTaggingPass, TaggingReport
+from ..isa import Program
+from ..sim import Machine, Outcome, ProtectionMode, RunResult
+from .fidelity import FidelityMeasure, FidelityResult
+
+#: Watchdog budget multiplier relative to the golden run length: a run that
+#: executes this many times more instructions than the error-free run is
+#: classified as an infinite run (the paper's "infinite execution time").
+WATCHDOG_FACTOR = 8
+
+
+@dataclass
+class GoldenRun:
+    """Cached error-free execution of an application on one workload."""
+
+    result: RunResult
+    reference_output: Any
+    executed: int
+    exposed_protected: int
+    exposed_unprotected: int
+
+    @property
+    def watchdog_budget(self) -> int:
+        return max(1000, self.executed * WATCHDOG_FACTOR)
+
+    def exposed_count(self, mode: ProtectionMode) -> int:
+        if mode is ProtectionMode.PROTECTED:
+            return self.exposed_protected
+        if mode is ProtectionMode.UNPROTECTED:
+            return self.exposed_unprotected
+        return 0
+
+
+class ErrorTolerantApp(abc.ABC):
+    """Base class for the paper's benchmark applications.
+
+    Subclasses supply MiniC source, workload generation, output extraction
+    and the fidelity measure.  The base class provides:
+
+    * :meth:`program` — compiled and tagged program (cached);
+    * :meth:`tagging_report` — the static analysis report;
+    * :meth:`golden` — cached golden run per workload seed;
+    * :meth:`run_once` — one (optionally fault-injected) run.
+    """
+
+    #: Short identifier, e.g. ``"susan"``.
+    name: str = "app"
+    #: One line description matching Table 1.
+    description: str = ""
+    #: Error counts swept by this application's paper figure.
+    default_error_sweep: Sequence[int] = (0, 1, 2, 4, 8)
+
+    def __init__(self) -> None:
+        self._program: Optional[Program] = None
+        self._tagging: Optional[TaggingReport] = None
+        self._goldens: Dict[int, GoldenRun] = {}
+
+    # ------------------------------------------------------------------
+    # Hooks implemented by concrete applications.
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def source(self) -> str:
+        """Return the MiniC source of the benchmark."""
+
+    @abc.abstractmethod
+    def fidelity_measure(self) -> FidelityMeasure:
+        """Describe the fidelity measure (Table 1)."""
+
+    @abc.abstractmethod
+    def generate_workload(self, seed: int) -> Dict[str, Any]:
+        """Produce a deterministic workload for the given seed."""
+
+    @abc.abstractmethod
+    def apply_workload(self, machine: Machine, workload: Dict[str, Any]) -> None:
+        """Write the workload into the machine's memory before execution."""
+
+    @abc.abstractmethod
+    def read_output(self, result: RunResult, workload: Dict[str, Any]) -> Any:
+        """Extract the application output from a completed run."""
+
+    @abc.abstractmethod
+    def score(self, reference: Any, observed: Any, workload: Dict[str, Any]) -> FidelityResult:
+        """Compare an observed output against the golden reference."""
+
+    def eligible_functions(self) -> Optional[List[str]]:
+        """Functions eligible for tagging; ``None`` keeps source annotations."""
+        return None
+
+    # ------------------------------------------------------------------
+    # Compilation and tagging (cached).
+    # ------------------------------------------------------------------
+    def program(self) -> Program:
+        if self._program is None:
+            program = compile_source(self.source())
+            eligible = self.eligible_functions()
+            if eligible is not None:
+                program.set_eligible_functions(eligible)
+            self._tagging = ControlTaggingPass().run(program)
+            self._program = program
+        return self._program
+
+    def tagging_report(self) -> TaggingReport:
+        self.program()
+        assert self._tagging is not None
+        return self._tagging
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def _make_machine(self, workload: Dict[str, Any]) -> Machine:
+        machine = Machine(self.program())
+        self.apply_workload(machine, workload)
+        return machine
+
+    def golden(self, seed: int = 0) -> GoldenRun:
+        """Run (and cache) the error-free execution for ``seed``."""
+        cached = self._goldens.get(seed)
+        if cached is not None:
+            return cached
+        workload = self.generate_workload(seed)
+        machine = self._make_machine(workload)
+        result = machine.run()
+        if result.outcome != Outcome.COMPLETED:
+            raise RuntimeError(
+                f"golden run of {self.name!r} did not complete: {result.outcome} "
+                f"({result.fault})"
+            )
+        golden = GoldenRun(
+            result=result,
+            reference_output=self.read_output(result, workload),
+            executed=result.executed,
+            exposed_protected=result.statistics.exposed_protected,
+            exposed_unprotected=result.statistics.exposed_unprotected,
+        )
+        self._goldens[seed] = golden
+        return golden
+
+    def run_once(self, injection=None, seed: int = 0,
+                 max_instructions: Optional[int] = None) -> RunResult:
+        """Execute one run of the workload for ``seed`` with optional injection."""
+        golden = self.golden(seed)
+        workload = self.generate_workload(seed)
+        machine = self._make_machine(workload)
+        budget = max_instructions if max_instructions is not None else golden.watchdog_budget
+        return machine.run(max_instructions=budget, injection=injection)
+
+    def score_run(self, result: RunResult, seed: int = 0) -> Optional[FidelityResult]:
+        """Score a completed run against the golden reference (None if it failed)."""
+        if result.outcome != Outcome.COMPLETED:
+            return None
+        golden = self.golden(seed)
+        workload = self.generate_workload(seed)
+        observed = self.read_output(result, workload)
+        return self.score(golden.reference_output, observed, workload)

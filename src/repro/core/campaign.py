@@ -1,0 +1,112 @@
+"""Fault-injection campaign runner.
+
+A *campaign* runs one application many times with a fixed number of
+injected soft errors and a fixed protection mode, classifies every run
+(completed / crash / infinite run) and scores the completed runs with the
+application's fidelity measure.  A *sweep* repeats the campaign over a list
+of error counts, producing the series the paper plots in Figures 1-6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..sim import Outcome, ProtectionMode, plan_injections
+from .app import ErrorTolerantApp
+from .outcomes import CampaignResult, RunRecord, SweepResult
+
+ProgressCallback = Callable[[str], None]
+
+
+@dataclass
+class CampaignConfig:
+    """Parameters of a fault-injection campaign."""
+
+    runs: int = 10
+    base_seed: int = 2006
+    #: Number of distinct workloads cycled through the runs.  The paper uses
+    #: one input per application; more workloads reduce input-specific bias.
+    workloads: int = 1
+
+    def seed_for(self, run_index: int) -> int:
+        return self.base_seed + 7919 * run_index
+
+    def workload_seed_for(self, run_index: int) -> int:
+        return run_index % max(1, self.workloads)
+
+
+class CampaignRunner:
+    """Runs fault-injection campaigns for one application."""
+
+    def __init__(self, app: ErrorTolerantApp, config: Optional[CampaignConfig] = None,
+                 progress: Optional[ProgressCallback] = None) -> None:
+        self.app = app
+        self.config = config or CampaignConfig()
+        self._progress = progress
+
+    def _report(self, message: str) -> None:
+        if self._progress is not None:
+            self._progress(message)
+
+    # ------------------------------------------------------------------
+    # Single campaign cell.
+    # ------------------------------------------------------------------
+    def run_campaign(self, errors: int, mode: ProtectionMode) -> CampaignResult:
+        """Run ``config.runs`` injected executions with ``errors`` bit flips."""
+        result = CampaignResult(app_name=self.app.name, mode=mode, errors_requested=errors)
+        for run_index in range(self.config.runs):
+            workload_seed = self.config.workload_seed_for(run_index)
+            golden = self.app.golden(workload_seed)
+            exposed = golden.exposed_count(mode)
+            injection_seed = self.config.seed_for(run_index) + 104729 * errors
+            if errors > 0 and mode is not ProtectionMode.NONE:
+                plan = plan_injections(errors, exposed, mode, seed=injection_seed)
+            else:
+                plan = None
+            run = self.app.run_once(injection=plan, seed=workload_seed)
+            fidelity = self.app.score_run(run, seed=workload_seed)
+            result.records.append(
+                RunRecord(
+                    run_index=run_index,
+                    seed=workload_seed,
+                    mode=mode,
+                    errors_requested=errors,
+                    errors_injected=plan.injected_errors if plan is not None else 0,
+                    outcome=run.outcome,
+                    executed=run.executed,
+                    fidelity=fidelity,
+                    fault_kind=run.fault_kind,
+                )
+            )
+        self._report(
+            f"{self.app.name}: {errors} errors, {mode.value}: "
+            f"{result.failure_percent:.0f}% failures"
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Error-count sweep (one figure series).
+    # ------------------------------------------------------------------
+    def run_sweep(self, errors_axis: Optional[Sequence[int]] = None,
+                  mode: ProtectionMode = ProtectionMode.PROTECTED) -> SweepResult:
+        axis = list(errors_axis if errors_axis is not None else self.app.default_error_sweep)
+        sweep = SweepResult(app_name=self.app.name, mode=mode)
+        for errors in axis:
+            sweep.cells.append(self.run_campaign(errors, mode))
+        return sweep
+
+    def run_protection_comparison(self, errors: int) -> dict:
+        """Run the same error count with and without control protection."""
+        return {
+            ProtectionMode.PROTECTED: self.run_campaign(errors, ProtectionMode.PROTECTED),
+            ProtectionMode.UNPROTECTED: self.run_campaign(errors, ProtectionMode.UNPROTECTED),
+        }
+
+
+def run_quick_campaign(app: ErrorTolerantApp, errors: int, runs: int = 5,
+                       mode: ProtectionMode = ProtectionMode.PROTECTED,
+                       base_seed: int = 2006) -> CampaignResult:
+    """One-call helper used by examples and tests."""
+    runner = CampaignRunner(app, CampaignConfig(runs=runs, base_seed=base_seed))
+    return runner.run_campaign(errors, mode)

@@ -1,0 +1,52 @@
+"""Fidelity result type shared by all applications.
+
+Each application defines a *fidelity measure* (Table 1 of the paper): a
+scalar distance from the error-free output, plus a subjective *fidelity
+threshold* classifying the output as acceptable or not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class FidelityResult:
+    """Outcome of scoring one completed run against the golden output.
+
+    Attributes
+    ----------
+    score:
+        The application-specific fidelity value (PSNR in dB, % bytes
+        correct, % bad frames, ...).  Higher-is-better or lower-is-better
+        depends on the measure; ``acceptable`` encodes the threshold so
+        aggregation code never needs to know the direction.
+    acceptable:
+        True when the output satisfies the application's fidelity
+        threshold.
+    perfect:
+        True when the output is bit-identical / exactly optimal.
+    detail:
+        Free-form per-application details (per-frame SNRs, schedule cost,
+        confidence values ...), used by the experiment reports.
+    """
+
+    score: float
+    acceptable: bool
+    perfect: bool = False
+    detail: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.score = float(self.score)
+
+
+@dataclass
+class FidelityMeasure:
+    """Descriptive metadata for Table 1."""
+
+    name: str
+    unit: str
+    higher_is_better: bool
+    threshold: Optional[float] = None
+    threshold_description: str = ""

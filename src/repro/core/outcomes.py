@@ -1,0 +1,189 @@
+"""Per-run records and campaign-level aggregation.
+
+Terminology follows Section 5 of the paper:
+
+* **catastrophic failure** — the run crashed or never terminated;
+* **fidelity** — the application-specific distance from the error-free
+  output, computed only for runs that completed;
+* **failure rate** — the fraction of runs that ended catastrophically,
+  which is what Table 2 and the "% Failed Executions" series of the
+  figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import fmean
+from typing import Dict, List, Optional, Sequence
+
+from ..sim import Outcome, ProtectionMode
+from .fidelity import FidelityResult
+
+
+@dataclass
+class RunRecord:
+    """One fault-injection run."""
+
+    run_index: int
+    seed: int
+    mode: ProtectionMode
+    errors_requested: int
+    errors_injected: int
+    outcome: str
+    executed: int
+    fidelity: Optional[FidelityResult] = None
+    fault_kind: Optional[str] = None
+
+    @property
+    def is_catastrophic(self) -> bool:
+        return self.outcome in Outcome.CATASTROPHIC
+
+    @property
+    def completed(self) -> bool:
+        return self.outcome == Outcome.COMPLETED
+
+
+@dataclass
+class CampaignResult:
+    """All runs of one (application, protection mode, error count) cell."""
+
+    app_name: str
+    mode: ProtectionMode
+    errors_requested: int
+    records: List[RunRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Run counting.
+    # ------------------------------------------------------------------
+    @property
+    def total_runs(self) -> int:
+        return len(self.records)
+
+    @property
+    def completed_runs(self) -> int:
+        return sum(1 for record in self.records if record.completed)
+
+    @property
+    def crash_runs(self) -> int:
+        return sum(1 for record in self.records if record.outcome == Outcome.CRASH)
+
+    @property
+    def hang_runs(self) -> int:
+        return sum(1 for record in self.records if record.outcome == Outcome.HANG)
+
+    @property
+    def catastrophic_runs(self) -> int:
+        return self.crash_runs + self.hang_runs
+
+    # ------------------------------------------------------------------
+    # Rates (all in percent, matching the paper's tables/figures).
+    # ------------------------------------------------------------------
+    def _percent(self, count: int) -> float:
+        if not self.records:
+            return 0.0
+        return 100.0 * count / len(self.records)
+
+    @property
+    def failure_percent(self) -> float:
+        """The paper's '% Failures' / '% Failed Executions'."""
+        return self._percent(self.catastrophic_runs)
+
+    @property
+    def crash_percent(self) -> float:
+        return self._percent(self.crash_runs)
+
+    @property
+    def hang_percent(self) -> float:
+        return self._percent(self.hang_runs)
+
+    @property
+    def completed_percent(self) -> float:
+        return self._percent(self.completed_runs)
+
+    @property
+    def acceptable_percent(self) -> float:
+        """Percent of all runs that completed with acceptable fidelity."""
+        acceptable = sum(
+            1 for record in self.records
+            if record.fidelity is not None and record.fidelity.acceptable
+        )
+        return self._percent(acceptable)
+
+    @property
+    def perfect_percent(self) -> float:
+        perfect = sum(
+            1 for record in self.records
+            if record.fidelity is not None and record.fidelity.perfect
+        )
+        return self._percent(perfect)
+
+    # ------------------------------------------------------------------
+    # Fidelity aggregation.
+    # ------------------------------------------------------------------
+    def fidelity_scores(self) -> List[float]:
+        return [
+            record.fidelity.score
+            for record in self.records
+            if record.fidelity is not None
+        ]
+
+    @property
+    def mean_fidelity(self) -> Optional[float]:
+        scores = self.fidelity_scores()
+        return fmean(scores) if scores else None
+
+    @property
+    def min_fidelity(self) -> Optional[float]:
+        scores = self.fidelity_scores()
+        return min(scores) if scores else None
+
+    @property
+    def mean_injected_errors(self) -> float:
+        if not self.records:
+            return 0.0
+        return fmean(record.errors_injected for record in self.records)
+
+    def detail_mean(self, key: str) -> Optional[float]:
+        """Mean of a named fidelity detail across completed runs."""
+        values = [
+            record.fidelity.detail[key]
+            for record in self.records
+            if record.fidelity is not None and key in record.fidelity.detail
+        ]
+        return fmean(values) if values else None
+
+    def summary(self) -> Dict[str, float]:
+        """Flat numeric summary used by reports and benchmarks."""
+        return {
+            "errors": float(self.errors_requested),
+            "runs": float(self.total_runs),
+            "failures_pct": self.failure_percent,
+            "crash_pct": self.crash_percent,
+            "hang_pct": self.hang_percent,
+            "mean_fidelity": self.mean_fidelity if self.mean_fidelity is not None else float("nan"),
+            "acceptable_pct": self.acceptable_percent,
+        }
+
+
+@dataclass
+class SweepResult:
+    """A sweep over error counts for one application and protection mode."""
+
+    app_name: str
+    mode: ProtectionMode
+    cells: List[CampaignResult] = field(default_factory=list)
+
+    def errors_axis(self) -> List[int]:
+        return [cell.errors_requested for cell in self.cells]
+
+    def failure_series(self) -> List[float]:
+        return [cell.failure_percent for cell in self.cells]
+
+    def fidelity_series(self) -> List[Optional[float]]:
+        return [cell.mean_fidelity for cell in self.cells]
+
+    def cell(self, errors: int) -> CampaignResult:
+        for candidate in self.cells:
+            if candidate.errors_requested == errors:
+                return candidate
+        raise KeyError(f"no campaign cell for {errors} errors")

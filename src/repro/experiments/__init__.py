@@ -1,0 +1,36 @@
+"""Experiment harness: one entry point per paper table and figure."""
+
+from .config import ExperimentConfig, default, full, quick
+from .figures import (
+    ALL_FIGURES,
+    figure1_susan,
+    figure2_mpeg,
+    figure3_mcf,
+    figure4_blowfish,
+    figure5_gsm,
+    figure6_art,
+)
+from .tables import (
+    TABLE2_ERROR_COUNTS,
+    table1_applications,
+    table2_catastrophic_failures,
+    table3_low_reliability_instructions,
+)
+
+__all__ = [
+    "ALL_FIGURES",
+    "ExperimentConfig",
+    "TABLE2_ERROR_COUNTS",
+    "default",
+    "figure1_susan",
+    "figure2_mpeg",
+    "figure3_mcf",
+    "figure4_blowfish",
+    "figure5_gsm",
+    "figure6_art",
+    "full",
+    "quick",
+    "table1_applications",
+    "table2_catastrophic_failures",
+    "table3_low_reliability_instructions",
+]

@@ -1,0 +1,52 @@
+"""Shared configuration for the experiment harness.
+
+The paper's campaigns use hundreds of millions of dynamic instructions per
+run; a pure-Python reproduction cannot afford that, so every experiment is
+parameterised by an :class:`ExperimentConfig` choosing the workload suite
+and the number of injected runs per measurement cell.  ``quick()`` keeps the
+full pipeline under a couple of minutes; ``full()`` is the configuration the
+recorded EXPERIMENTS.md numbers were produced with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..apps import small_suite, standard_suite
+from ..core import CampaignConfig
+from ..core.app import ErrorTolerantApp
+
+
+@dataclass
+class ExperimentConfig:
+    """How much work each experiment performs."""
+
+    suite_name: str = "standard"
+    runs_per_cell: int = 10
+    base_seed: int = 2006
+
+    def suite(self) -> Dict[str, ErrorTolerantApp]:
+        if self.suite_name == "standard":
+            return standard_suite()
+        if self.suite_name == "small":
+            return small_suite()
+        raise ValueError(f"unknown suite {self.suite_name!r}")
+
+    def campaign_config(self) -> CampaignConfig:
+        return CampaignConfig(runs=self.runs_per_cell, base_seed=self.base_seed)
+
+
+def quick() -> ExperimentConfig:
+    """Small workloads, few runs: smoke-testing the harness."""
+    return ExperimentConfig(suite_name="small", runs_per_cell=4)
+
+
+def default() -> ExperimentConfig:
+    """Small workloads, a moderate number of runs (benchmark default)."""
+    return ExperimentConfig(suite_name="small", runs_per_cell=8)
+
+
+def full() -> ExperimentConfig:
+    """Standard workloads and enough runs for stable percentages."""
+    return ExperimentConfig(suite_name="standard", runs_per_cell=15)

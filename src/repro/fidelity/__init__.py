@@ -1,0 +1,46 @@
+"""Application fidelity measures (Table 1 of the paper)."""
+
+from .bytes_match import percent_matching, percent_within_tolerance
+from .confidence import RecognitionComparison, RecognitionResult, compare_recognition
+from .frames import (
+    BAD_FRAME_THRESHOLD_PERCENT,
+    FRAME_SNR_BUDGET_DB,
+    FrameQuality,
+    classify_frames,
+    percent_bad_frames,
+)
+from .psnr import IDENTICAL_PSNR_DB, mean_squared_error, psnr
+from .schedule import (
+    DEPOT,
+    ScheduleComparison,
+    compare_schedules,
+    is_complete,
+    is_feasible,
+    schedule_cost,
+)
+from .snr import IDENTICAL_SNR_DB, signal_to_noise_db, snr_loss_db
+
+__all__ = [
+    "BAD_FRAME_THRESHOLD_PERCENT",
+    "DEPOT",
+    "FRAME_SNR_BUDGET_DB",
+    "FrameQuality",
+    "IDENTICAL_PSNR_DB",
+    "IDENTICAL_SNR_DB",
+    "RecognitionComparison",
+    "RecognitionResult",
+    "ScheduleComparison",
+    "classify_frames",
+    "compare_recognition",
+    "compare_schedules",
+    "is_complete",
+    "is_feasible",
+    "mean_squared_error",
+    "percent_bad_frames",
+    "percent_matching",
+    "percent_within_tolerance",
+    "psnr",
+    "schedule_cost",
+    "signal_to_noise_db",
+    "snr_loss_db",
+]

@@ -1,0 +1,41 @@
+"""Byte/sample similarity measures.
+
+Used by Blowfish ("percent of bytes that match between the input and the
+output data") and ADPCM ("percent of similarity of the output PCM data").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def percent_matching(reference: Sequence, observed: Sequence) -> float:
+    """Percentage of positions with exactly equal values.
+
+    The sequences may differ in length (a corrupted run can emit too little
+    or too much output); missing or extra positions count as mismatches
+    against the longer length.
+    """
+    if not reference and not observed:
+        return 100.0
+    length = max(len(reference), len(observed))
+    matches = sum(
+        1
+        for expected, actual in zip(reference, observed)
+        if expected == actual
+    )
+    return 100.0 * matches / length
+
+
+def percent_within_tolerance(reference: Sequence[float], observed: Sequence[float],
+                             tolerance: float) -> float:
+    """Percentage of positions whose absolute difference is within ``tolerance``."""
+    if not reference and not observed:
+        return 100.0
+    length = max(len(reference), len(observed))
+    matches = sum(
+        1
+        for expected, actual in zip(reference, observed)
+        if abs(float(expected) - float(actual)) <= tolerance
+    )
+    return 100.0 * matches / length

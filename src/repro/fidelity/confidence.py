@@ -1,0 +1,54 @@
+"""Recognition-confidence fidelity for ART.
+
+The paper's measure is the "error in confidence of match": the neural
+network scans a thermal image and reports, for the best-matching window,
+which learned object it saw and with what confidence.  A run *recognises*
+the image when it identifies the correct object at the correct location;
+the confidence error quantifies how far the reported confidence drifted
+from the error-free confidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RecognitionResult:
+    """Output of one ART scan."""
+
+    best_window: int
+    best_class: int
+    confidence: float
+
+
+@dataclass
+class RecognitionComparison:
+    recognized: bool
+    confidence_error: float
+    location_correct: bool
+    class_correct: bool
+
+
+def compare_recognition(reference: RecognitionResult, observed: RecognitionResult,
+                        confidence_tolerance: float = 0.25) -> RecognitionComparison:
+    """Compare an observed recognition against the error-free one.
+
+    ``confidence_tolerance`` is the maximum relative confidence drift (25%
+    by default) for a run that found the right object in the right place to
+    still count as a recognition.
+    """
+    location_correct = observed.best_window == reference.best_window
+    class_correct = observed.best_class == reference.best_class
+    if reference.confidence != 0:
+        confidence_error = abs(observed.confidence - reference.confidence) / abs(
+            reference.confidence)
+    else:
+        confidence_error = abs(observed.confidence - reference.confidence)
+    recognized = location_correct and class_correct and confidence_error <= confidence_tolerance
+    return RecognitionComparison(
+        recognized=recognized,
+        confidence_error=confidence_error,
+        location_correct=location_correct,
+        class_correct=class_correct,
+    )

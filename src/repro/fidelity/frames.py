@@ -1,0 +1,61 @@
+"""Per-frame quality classification for the MPEG fidelity measure.
+
+The paper classifies a decoded frame as *bad* when its SNR relative to the
+error-free decoded frame drops by more than a per-frame-type budget:
+2 dB for I frames, 4 dB for P frames and 6 dB for B frames.  The fidelity
+measure is the percentage of bad frames and the fidelity threshold is 10%
+bad frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .snr import signal_to_noise_db
+
+#: Maximum tolerated SNR loss (dB) per frame type.
+FRAME_SNR_BUDGET_DB = {"I": 2.0, "P": 4.0, "B": 6.0}
+#: Paper's fidelity threshold: at most 10% bad frames is acceptable.
+BAD_FRAME_THRESHOLD_PERCENT = 10.0
+
+
+@dataclass
+class FrameQuality:
+    """Quality of one decoded frame relative to its error-free counterpart."""
+
+    index: int
+    frame_type: str
+    snr_db: float
+    bad: bool
+
+
+def classify_frames(
+    reference_frames: Sequence[Sequence[float]],
+    observed_frames: Sequence[Sequence[float]],
+    frame_types: Sequence[str],
+) -> List[FrameQuality]:
+    """Classify every frame as good or bad using the per-type SNR budget."""
+    if not (len(reference_frames) == len(observed_frames) == len(frame_types)):
+        raise ValueError("frame sequences and type list must have equal length")
+    qualities: List[FrameQuality] = []
+    for index, (reference, observed, frame_type) in enumerate(
+        zip(reference_frames, observed_frames, frame_types)
+    ):
+        if frame_type not in FRAME_SNR_BUDGET_DB:
+            raise ValueError(f"unknown frame type {frame_type!r}")
+        snr = signal_to_noise_db(reference, observed)
+        budget = FRAME_SNR_BUDGET_DB[frame_type]
+        # A frame is bad when the reproduction error exceeds the budget: its
+        # SNR vs. the clean frame falls below (100 - budget) dB, i.e. more
+        # than `budget` dB of signal quality was lost.
+        bad = snr < (100.0 - budget)
+        qualities.append(FrameQuality(index=index, frame_type=frame_type, snr_db=snr, bad=bad))
+    return qualities
+
+
+def percent_bad_frames(qualities: Sequence[FrameQuality]) -> float:
+    """Percentage of frames classified as bad."""
+    if not qualities:
+        return 0.0
+    return 100.0 * sum(1 for quality in qualities if quality.bad) / len(qualities)

@@ -1,0 +1,38 @@
+"""Peak signal-to-noise ratio between two images.
+
+Replaces the paper's use of ImageMagick ``compare`` for the Susan fidelity
+measure.  Images are flat sequences of pixel intensities in ``[0, peak]``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+#: PSNR value reported for identical images (ImageMagick prints "inf"; a
+#: large finite value keeps aggregation simple).
+IDENTICAL_PSNR_DB = 100.0
+
+
+def mean_squared_error(reference: Sequence[float], observed: Sequence[float]) -> float:
+    """Mean squared error between two equally sized images."""
+    if len(reference) != len(observed):
+        raise ValueError(
+            f"image size mismatch: {len(reference)} vs {len(observed)} pixels"
+        )
+    if not reference:
+        raise ValueError("cannot compute MSE of empty images")
+    total = 0.0
+    for expected, actual in zip(reference, observed):
+        difference = float(expected) - float(actual)
+        total += difference * difference
+    return total / len(reference)
+
+
+def psnr(reference: Sequence[float], observed: Sequence[float], peak: float = 255.0) -> float:
+    """PSNR in dB; ``IDENTICAL_PSNR_DB`` when the images are identical."""
+    mse = mean_squared_error(reference, observed)
+    if mse == 0.0:
+        return IDENTICAL_PSNR_DB
+    value = 10.0 * math.log10((peak * peak) / mse)
+    return min(value, IDENTICAL_PSNR_DB)

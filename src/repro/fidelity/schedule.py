@@ -1,0 +1,106 @@
+"""Vehicle-schedule fidelity for MCF.
+
+The paper measures "the fidelity of the MCF schedule with errors inserted
+by comparing the schedules of an optimal schedule" and reports the percent
+of runs that still find the optimal schedule (Figure 3).  It also notes
+that the incorrect schedules were "not just inoptimal, but incomplete".
+
+A schedule here is the assignment produced by the minimum-cost-flow vehicle
+scheduler: for every timetabled trip, either the index of the trip the same
+vehicle serves next, or a sentinel meaning "vehicle returns to the depot".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+#: Sentinel successor meaning "the vehicle returns to the depot".
+DEPOT = -1
+
+
+@dataclass
+class ScheduleComparison:
+    """Result of comparing a schedule against the optimal one."""
+
+    complete: bool
+    feasible: bool
+    cost: float
+    optimal_cost: float
+    extra_cost_percent: float
+    optimal: bool
+
+
+def schedule_cost(successors: Sequence[int], trip_costs: Sequence[Sequence[float]],
+                  pull_cost: float) -> float:
+    """Total cost of a schedule.
+
+    ``trip_costs[i][j]`` is the deadhead cost of serving trip ``j`` directly
+    after trip ``i`` (infinite if the connection is impossible);
+    ``pull_cost`` is the per-vehicle depot cost.  Each vehicle chain ends
+    with exactly one ``DEPOT`` successor, so the number of depot successors
+    equals the fleet size.
+    """
+    total = 0.0
+    for trip, successor in enumerate(successors):
+        if successor == DEPOT:
+            total += pull_cost
+        else:
+            total += trip_costs[trip][successor]
+    return total
+
+
+def is_complete(successors: Sequence[int], trip_count: int) -> bool:
+    """True when every trip appears exactly once and successors are valid."""
+    if len(successors) != trip_count:
+        return False
+    seen = set()
+    for successor in successors:
+        if successor == DEPOT:
+            continue
+        if not isinstance(successor, int) or not 0 <= successor < trip_count:
+            return False
+        if successor in seen:
+            return False
+        seen.add(successor)
+    return True
+
+
+def is_feasible(successors: Sequence[int], trip_costs: Sequence[Sequence[float]],
+                infeasible_marker: float) -> bool:
+    """True when every chained connection is actually allowed."""
+    for trip, successor in enumerate(successors):
+        if successor == DEPOT:
+            continue
+        if not 0 <= successor < len(trip_costs):
+            return False
+        if trip_costs[trip][successor] >= infeasible_marker:
+            return False
+    return True
+
+
+def compare_schedules(observed: Sequence[int], optimal_cost: float,
+                      trip_costs: Sequence[Sequence[float]], pull_cost: float,
+                      infeasible_marker: float,
+                      cost_tolerance: float = 1e-6) -> ScheduleComparison:
+    """Compare an observed schedule against the known optimal cost."""
+    trip_count = len(trip_costs)
+    complete = is_complete(observed, trip_count)
+    feasible = complete and is_feasible(observed, trip_costs, infeasible_marker)
+    if feasible:
+        cost = schedule_cost(observed, trip_costs, pull_cost)
+    else:
+        cost = float("inf")
+    if optimal_cost > 0 and cost != float("inf"):
+        extra = 100.0 * (cost - optimal_cost) / optimal_cost
+    else:
+        extra = float("inf") if cost == float("inf") else 0.0
+    optimal = feasible and cost <= optimal_cost * (1.0 + cost_tolerance)
+    return ScheduleComparison(
+        complete=complete,
+        feasible=feasible,
+        cost=cost,
+        optimal_cost=optimal_cost,
+        extra_cost_percent=extra,
+        optimal=optimal,
+    )

@@ -1,0 +1,44 @@
+"""Signal-to-noise ratio between a reference and an observed signal.
+
+Used by the GSM and MPEG fidelity measures ("signal-to-noise difference
+between the decoded output with errors ... and ... without error
+insertion").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+#: SNR reported when the observed signal matches the reference exactly.
+IDENTICAL_SNR_DB = 100.0
+#: SNR reported when the reference has no energy (degenerate signal).
+SILENT_REFERENCE_DB = 0.0
+
+
+def signal_to_noise_db(reference: Sequence[float], observed: Sequence[float]) -> float:
+    """SNR (dB) of ``observed`` using ``reference`` as the clean signal."""
+    if len(reference) != len(observed):
+        raise ValueError(
+            f"signal length mismatch: {len(reference)} vs {len(observed)} samples"
+        )
+    if not reference:
+        raise ValueError("cannot compute SNR of empty signals")
+    signal_energy = 0.0
+    noise_energy = 0.0
+    for expected, actual in zip(reference, observed):
+        expected = float(expected)
+        difference = expected - float(actual)
+        signal_energy += expected * expected
+        noise_energy += difference * difference
+    if signal_energy == 0.0:
+        return SILENT_REFERENCE_DB
+    if noise_energy == 0.0:
+        return IDENTICAL_SNR_DB
+    value = 10.0 * math.log10(signal_energy / noise_energy)
+    return max(min(value, IDENTICAL_SNR_DB), -IDENTICAL_SNR_DB)
+
+
+def snr_loss_db(reference: Sequence[float], observed: Sequence[float]) -> float:
+    """Loss of SNR relative to a perfect reproduction (0 dB = identical)."""
+    return IDENTICAL_SNR_DB - signal_to_noise_db(reference, observed)

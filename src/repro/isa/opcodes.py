@@ -1,0 +1,214 @@
+"""Opcode definitions and classification for the virtual ISA.
+
+The instruction set is a small MIPS-like RISC ISA with separate integer and
+floating point ALU operations, loads/stores on a word-addressable memory,
+conditional branches, jumps, calls, and a tiny syscall layer.
+
+Every opcode carries classification flags used throughout the library:
+
+* the functional simulator dispatches on the opcode,
+* the control-data static analysis needs to know which instructions are
+  branches, memory operations or plain arithmetic,
+* the fault injector only flips bits in the results of instructions that
+  produce a register value.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+
+class Opcode(enum.IntEnum):
+    """All opcodes of the virtual ISA."""
+
+    # Integer ALU (register-register).
+    ADD = enum.auto()
+    SUB = enum.auto()
+    MUL = enum.auto()
+    DIV = enum.auto()
+    REM = enum.auto()
+    AND = enum.auto()
+    OR = enum.auto()
+    XOR = enum.auto()
+    NOR = enum.auto()
+    SLL = enum.auto()
+    SRL = enum.auto()
+    SRA = enum.auto()
+    SLT = enum.auto()
+    SLE = enum.auto()
+    SEQ = enum.auto()
+    SNE = enum.auto()
+
+    # Integer ALU (register-immediate).
+    ADDI = enum.auto()
+    ANDI = enum.auto()
+    ORI = enum.auto()
+    XORI = enum.auto()
+    SLLI = enum.auto()
+    SRLI = enum.auto()
+    SRAI = enum.auto()
+    SLTI = enum.auto()
+    LI = enum.auto()
+
+    # Floating point ALU.
+    FADD = enum.auto()
+    FSUB = enum.auto()
+    FMUL = enum.auto()
+    FDIV = enum.auto()
+    FNEG = enum.auto()
+    FABS = enum.auto()
+    FMIN = enum.auto()
+    FMAX = enum.auto()
+    FSQRT = enum.auto()
+    FLI = enum.auto()
+
+    # Comparisons between float operands producing an integer result.
+    FEQ = enum.auto()
+    FLT = enum.auto()
+    FLE = enum.auto()
+
+    # Conversions.
+    CVTIF = enum.auto()   # int -> float
+    CVTFI = enum.auto()   # float -> int (truncation)
+
+    # Memory (word addressable; one cell per address).
+    LW = enum.auto()
+    SW = enum.auto()
+    FLW = enum.auto()
+    FSW = enum.auto()
+    LA = enum.auto()      # load address of a data symbol
+
+    # Control flow.
+    BEQ = enum.auto()
+    BNE = enum.auto()
+    BLT = enum.auto()
+    BLE = enum.auto()
+    BGT = enum.auto()
+    BGE = enum.auto()
+    BEQZ = enum.auto()
+    BNEZ = enum.auto()
+    J = enum.auto()
+    JAL = enum.auto()
+    JR = enum.auto()
+
+    # System.
+    OUT = enum.auto()     # append an integer register value to an output channel
+    FOUT = enum.auto()    # append a float register value to an output channel
+    HALT = enum.auto()
+    NOP = enum.auto()
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static classification of an opcode."""
+
+    name: str
+    is_int_alu: bool = False
+    is_float_alu: bool = False
+    is_load: bool = False
+    is_store: bool = False
+    is_branch: bool = False
+    is_jump: bool = False
+    is_call: bool = False
+    is_system: bool = False
+    writes_register: bool = False
+    has_immediate: bool = False
+
+    @property
+    def is_arithmetic(self) -> bool:
+        """True for plain ALU computation (the only candidates for tagging)."""
+        return self.is_int_alu or self.is_float_alu
+
+    @property
+    def is_memory(self) -> bool:
+        return self.is_load or self.is_store
+
+    @property
+    def is_control(self) -> bool:
+        return self.is_branch or self.is_jump or self.is_call
+
+
+def _alu(name: str, *, float_op: bool = False, imm: bool = False) -> OpcodeInfo:
+    return OpcodeInfo(
+        name,
+        is_int_alu=not float_op,
+        is_float_alu=float_op,
+        writes_register=True,
+        has_immediate=imm,
+    )
+
+
+OPCODE_INFO: Dict[Opcode, OpcodeInfo] = {
+    Opcode.ADD: _alu("add"),
+    Opcode.SUB: _alu("sub"),
+    Opcode.MUL: _alu("mul"),
+    Opcode.DIV: _alu("div"),
+    Opcode.REM: _alu("rem"),
+    Opcode.AND: _alu("and"),
+    Opcode.OR: _alu("or"),
+    Opcode.XOR: _alu("xor"),
+    Opcode.NOR: _alu("nor"),
+    Opcode.SLL: _alu("sll"),
+    Opcode.SRL: _alu("srl"),
+    Opcode.SRA: _alu("sra"),
+    Opcode.SLT: _alu("slt"),
+    Opcode.SLE: _alu("sle"),
+    Opcode.SEQ: _alu("seq"),
+    Opcode.SNE: _alu("sne"),
+    Opcode.ADDI: _alu("addi", imm=True),
+    Opcode.ANDI: _alu("andi", imm=True),
+    Opcode.ORI: _alu("ori", imm=True),
+    Opcode.XORI: _alu("xori", imm=True),
+    Opcode.SLLI: _alu("slli", imm=True),
+    Opcode.SRLI: _alu("srli", imm=True),
+    Opcode.SRAI: _alu("srai", imm=True),
+    Opcode.SLTI: _alu("slti", imm=True),
+    Opcode.LI: _alu("li", imm=True),
+    Opcode.FADD: _alu("fadd", float_op=True),
+    Opcode.FSUB: _alu("fsub", float_op=True),
+    Opcode.FMUL: _alu("fmul", float_op=True),
+    Opcode.FDIV: _alu("fdiv", float_op=True),
+    Opcode.FNEG: _alu("fneg", float_op=True),
+    Opcode.FABS: _alu("fabs", float_op=True),
+    Opcode.FMIN: _alu("fmin", float_op=True),
+    Opcode.FMAX: _alu("fmax", float_op=True),
+    Opcode.FSQRT: _alu("fsqrt", float_op=True),
+    Opcode.FLI: _alu("fli", float_op=True, imm=True),
+    Opcode.FEQ: _alu("feq", float_op=True),
+    Opcode.FLT: _alu("flt", float_op=True),
+    Opcode.FLE: _alu("fle", float_op=True),
+    Opcode.CVTIF: _alu("cvtif", float_op=True),
+    Opcode.CVTFI: _alu("cvtfi", float_op=True),
+    Opcode.LW: OpcodeInfo("lw", is_load=True, writes_register=True, has_immediate=True),
+    Opcode.SW: OpcodeInfo("sw", is_store=True, has_immediate=True),
+    Opcode.FLW: OpcodeInfo("flw", is_load=True, writes_register=True, has_immediate=True),
+    Opcode.FSW: OpcodeInfo("fsw", is_store=True, has_immediate=True),
+    # LA materialises a data-segment address; on MIPS this is a lui/addiu
+    # pair, so it is classified as integer ALU work (and can be tagged).
+    Opcode.LA: OpcodeInfo("la", is_int_alu=True, writes_register=True, has_immediate=True),
+    Opcode.BEQ: OpcodeInfo("beq", is_branch=True),
+    Opcode.BNE: OpcodeInfo("bne", is_branch=True),
+    Opcode.BLT: OpcodeInfo("blt", is_branch=True),
+    Opcode.BLE: OpcodeInfo("ble", is_branch=True),
+    Opcode.BGT: OpcodeInfo("bgt", is_branch=True),
+    Opcode.BGE: OpcodeInfo("bge", is_branch=True),
+    Opcode.BEQZ: OpcodeInfo("beqz", is_branch=True),
+    Opcode.BNEZ: OpcodeInfo("bnez", is_branch=True),
+    Opcode.J: OpcodeInfo("j", is_jump=True),
+    Opcode.JAL: OpcodeInfo("jal", is_jump=True, is_call=True, writes_register=True),
+    Opcode.JR: OpcodeInfo("jr", is_jump=True),
+    Opcode.OUT: OpcodeInfo("out", is_system=True, has_immediate=True),
+    Opcode.FOUT: OpcodeInfo("fout", is_system=True, has_immediate=True),
+    Opcode.HALT: OpcodeInfo("halt", is_system=True),
+    Opcode.NOP: OpcodeInfo("nop", is_system=True),
+}
+
+#: Mapping from mnemonic text to opcode, used by the assembler parser.
+MNEMONIC_TO_OPCODE: Dict[str, Opcode] = {
+    info.name: op for op, info in OPCODE_INFO.items()
+}
+
+# Sanity checks executed at import time: every opcode must be classified.
+assert set(OPCODE_INFO) == set(Opcode), "opcode classification table incomplete"

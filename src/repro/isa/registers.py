@@ -1,0 +1,140 @@
+"""Register file model for the virtual ISA.
+
+The ISA follows a MIPS-like convention with 32 integer registers and 32
+floating point registers.  Registers are represented by the light-weight
+:class:`Reg` value object so that compiler passes can use them as dictionary
+keys and set members.
+
+Conventional roles (mirroring the MIPS o32 ABI, which the MiniC code
+generator follows):
+
+=========  =========================================================
+Register   Role
+=========  =========================================================
+``$0``     hard-wired zero
+``$2``     integer return value (``v0``)
+``$4-$7``  first four integer arguments (``a0``-``a3``)
+``$8-$25`` caller-saved temporaries used for expression evaluation
+``$29``    stack pointer (``sp``)
+``$30``    frame pointer (``fp``)
+``$31``    return address (``ra``)
+``$f0``    float return value
+``$f12+``  float arguments
+=========  =========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+NUM_INT_REGS = 32
+NUM_FLOAT_REGS = 32
+
+# Symbolic indices for ABI registers.
+ZERO = 0
+RV = 2
+ARG0 = 4
+ARG1 = 5
+ARG2 = 6
+ARG3 = 7
+TEMP_FIRST = 8
+TEMP_LAST = 25
+GP = 28
+SP = 29
+FP = 30
+RA = 31
+
+FRV = 0
+FARG0 = 12
+FTEMP_FIRST = 1
+FTEMP_LAST = 11
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A single architectural register.
+
+    Parameters
+    ----------
+    kind:
+        Either ``"int"`` or ``"float"``.
+    index:
+        Register number within its file, ``0 <= index < 32``.
+    """
+
+    kind: str
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("int", "float"):
+            raise ValueError(f"unknown register kind: {self.kind!r}")
+        limit = NUM_INT_REGS if self.kind == "int" else NUM_FLOAT_REGS
+        if not 0 <= self.index < limit:
+            raise ValueError(f"register index out of range: {self.index}")
+
+    @property
+    def is_int(self) -> bool:
+        return self.kind == "int"
+
+    @property
+    def is_float(self) -> bool:
+        return self.kind == "float"
+
+    @property
+    def name(self) -> str:
+        prefix = "$" if self.is_int else "$f"
+        return f"{prefix}{self.index}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def R(index: int) -> Reg:
+    """Shorthand constructor for an integer register."""
+    return Reg("int", index)
+
+
+def F(index: int) -> Reg:
+    """Shorthand constructor for a floating point register."""
+    return Reg("float", index)
+
+
+def parse_register(text: str) -> Reg:
+    """Parse a register name such as ``$3`` or ``$f12``."""
+    text = text.strip()
+    if not text.startswith("$"):
+        raise ValueError(f"not a register name: {text!r}")
+    body = text[1:]
+    if body.startswith("f") and body[1:].isdigit():
+        return F(int(body[1:]))
+    named = _NAMED_REGISTERS.get(body)
+    if named is not None:
+        return named
+    if body.isdigit():
+        return R(int(body))
+    raise ValueError(f"not a register name: {text!r}")
+
+
+_NAMED_REGISTERS = {
+    "zero": R(ZERO),
+    "v0": R(RV),
+    "a0": R(ARG0),
+    "a1": R(ARG1),
+    "a2": R(ARG2),
+    "a3": R(ARG3),
+    "gp": R(GP),
+    "sp": R(SP),
+    "fp": R(FP),
+    "ra": R(RA),
+}
+
+# Frequently used register singletons.
+REG_ZERO = R(ZERO)
+REG_RV = R(RV)
+REG_SP = R(SP)
+REG_FP = R(FP)
+REG_RA = R(RA)
+REG_FRV = F(FRV)

@@ -1,0 +1,51 @@
+"""Functional simulation substrate (the SimpleScalar stand-in)."""
+
+from .errors import (
+    ArithmeticFault,
+    ControlFault,
+    MemoryFault,
+    SimFault,
+    SyscallFault,
+    WatchdogExpired,
+)
+from .faults import (
+    InjectionEvent,
+    InjectionPlan,
+    ProtectionMode,
+    exposed_static_indices,
+    instruction_is_exposed,
+    plan_injections,
+)
+from .machine import (
+    DEFAULT_MAX_INSTRUCTIONS,
+    DEFAULT_WATCHDOG_FACTOR,
+    Machine,
+    Outcome,
+    RunResult,
+    RunStatistics,
+    run_program,
+)
+from .memory import Memory
+
+__all__ = [
+    "ArithmeticFault",
+    "ControlFault",
+    "DEFAULT_MAX_INSTRUCTIONS",
+    "DEFAULT_WATCHDOG_FACTOR",
+    "InjectionEvent",
+    "InjectionPlan",
+    "Machine",
+    "Memory",
+    "MemoryFault",
+    "Outcome",
+    "ProtectionMode",
+    "RunResult",
+    "RunStatistics",
+    "SimFault",
+    "SyscallFault",
+    "WatchdogExpired",
+    "exposed_static_indices",
+    "instruction_is_exposed",
+    "plan_injections",
+    "run_program",
+]

@@ -1,0 +1,56 @@
+"""Simulator fault types.
+
+A :class:`SimFault` models the ways a corrupted program can die on real
+hardware: wild memory accesses (segmentation fault), integer division by
+zero (SIGFPE), and jumps to garbage addresses.  The fault-injection campaign
+classifies any run that raises one of these as a *catastrophic failure* of
+the "crash" kind (the other kind being an infinite run, detected by the
+watchdog instruction budget).
+"""
+
+from __future__ import annotations
+
+
+class SimFault(Exception):
+    """Base class for all runtime faults raised by the simulator."""
+
+    kind = "fault"
+
+    def __init__(self, message: str, pc: int = -1) -> None:
+        super().__init__(message)
+        self.pc = pc
+
+
+class MemoryFault(SimFault):
+    """Out-of-bounds or malformed memory access."""
+
+    kind = "memory"
+
+
+class ArithmeticFault(SimFault):
+    """Integer division or remainder by zero."""
+
+    kind = "arithmetic"
+
+
+class ControlFault(SimFault):
+    """Jump or return to an address outside the text segment."""
+
+    kind = "control"
+
+
+class SyscallFault(SimFault):
+    """Malformed system instruction (bad output channel, etc.)."""
+
+    kind = "syscall"
+
+
+class WatchdogExpired(Exception):
+    """The instruction budget was exhausted (modelled as an infinite run)."""
+
+    def __init__(self, executed: int, budget: int) -> None:
+        super().__init__(
+            f"instruction budget exhausted: executed {executed} of {budget}"
+        )
+        self.executed = executed
+        self.budget = budget

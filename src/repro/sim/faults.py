@@ -1,0 +1,152 @@
+"""Soft-error injection model.
+
+The paper's model (Section 4, "Error Insertion"):
+
+* a soft error becomes visible to the application as a single bit flip in
+  the *result* of a dynamic instruction;
+* errors are inserted uniformly at random over the dynamic instruction
+  stream;
+* under **protection ON** only instructions tagged by the static analysis as
+  not influencing control ("low reliability") receive errors — all other
+  instructions are assumed to be protected by redundancy or hardened
+  hardware;
+* under **protection OFF** any result-producing dynamic instruction can
+  receive an error.
+
+This module defines the injection *policy* (which static instructions are
+eligible) and the injection *plan* (which dynamic occurrences receive a
+flip).  The :class:`~repro.sim.machine.Machine` consumes a plan and performs
+the flips while executing.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..isa import Instruction, Program
+
+
+class ProtectionMode(enum.Enum):
+    """Which dynamic instructions are exposed to soft errors."""
+
+    #: Control data is protected: only instructions tagged low-reliability by
+    #: the static analysis can receive bit flips.
+    PROTECTED = "protected"
+    #: No protection: any result-producing instruction can receive bit flips.
+    UNPROTECTED = "unprotected"
+    #: No errors at all (golden run).
+    NONE = "none"
+
+
+def instruction_is_exposed(instruction: Instruction, mode: ProtectionMode) -> bool:
+    """Return True when ``instruction`` may receive injected errors."""
+    if mode is ProtectionMode.NONE:
+        return False
+    if not instruction.writes_register:
+        return False
+    if mode is ProtectionMode.PROTECTED:
+        return instruction.low_reliability
+    # UNPROTECTED: every instruction that produces a register result is fair
+    # game, including loads, address computations and call linkage.
+    return True
+
+
+def exposed_static_indices(program: Program, mode: ProtectionMode) -> List[int]:
+    """Static instruction indices exposed to errors under ``mode``."""
+    return [
+        index
+        for index, instruction in enumerate(program.instructions)
+        if instruction_is_exposed(instruction, mode)
+    ]
+
+
+@dataclass
+class InjectionEvent:
+    """Record of one performed bit flip."""
+
+    dynamic_index: int
+    static_index: int
+    opcode: str
+    bit: int
+    original: float
+    corrupted: float
+
+
+@dataclass
+class InjectionPlan:
+    """A concrete set of dynamic injection points for a single run.
+
+    ``targets`` are indices into the stream of *exposed* dynamic
+    instructions (0-based, strictly increasing).  If control flow diverges
+    after an early flip and some later targets are never reached, those
+    errors are simply not inserted — the same thing happens on real hardware
+    when a run crashes before its remaining soft errors strike.
+    """
+
+    mode: ProtectionMode
+    targets: Sequence[int]
+    seed: int = 0
+    events: List[InjectionEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        targets = list(self.targets)
+        if any(t < 0 for t in targets):
+            raise ValueError("injection targets must be non-negative")
+        if sorted(set(targets)) != targets:
+            raise ValueError("injection targets must be strictly increasing and unique")
+        self.targets = targets
+        self._rng = random.Random(self.seed ^ 0x5DEECE66D)
+
+    @property
+    def requested_errors(self) -> int:
+        return len(self.targets)
+
+    @property
+    def injected_errors(self) -> int:
+        return len(self.events)
+
+    def choose_bit(self, width: int) -> int:
+        """Pick the bit position to flip for the next event."""
+        return self._rng.randrange(width)
+
+    def record(self, event: InjectionEvent) -> None:
+        self.events.append(event)
+
+
+def plan_injections(
+    num_errors: int,
+    exposed_dynamic_count: int,
+    mode: ProtectionMode,
+    seed: int,
+) -> InjectionPlan:
+    """Draw ``num_errors`` uniform injection points for a run.
+
+    Parameters
+    ----------
+    num_errors:
+        Number of bit flips to insert (the x-axis of the paper's figures).
+    exposed_dynamic_count:
+        Number of exposed dynamic instructions observed in a golden run of
+        the same workload.  Injection points are drawn uniformly from this
+        range, matching the paper's uniform-over-the-run insertion.
+    mode:
+        Protection mode the plan applies to.
+    seed:
+        Seed controlling both the chosen points and the flipped bits.
+    """
+    if num_errors < 0:
+        raise ValueError("num_errors must be non-negative")
+    if mode is ProtectionMode.NONE or num_errors == 0:
+        return InjectionPlan(mode=mode, targets=[], seed=seed)
+    if exposed_dynamic_count <= 0:
+        raise ValueError(
+            "cannot plan injections: the golden run exposed no dynamic instructions"
+        )
+    rng = random.Random(seed)
+    population = exposed_dynamic_count
+    count = min(num_errors, population)
+    targets = sorted(rng.sample(range(population), count))
+    return InjectionPlan(mode=mode, targets=targets, seed=seed)

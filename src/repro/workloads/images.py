@@ -1,0 +1,167 @@
+"""Synthetic image workloads.
+
+The original study used MiBench/SPEC reference inputs (photographs, thermal
+images).  Those are replaced by deterministic synthetic images that contain
+the features the algorithms care about: edges, corners, smooth gradients,
+embedded rectangular "objects" and mild sensor noise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass
+class Image:
+    """A grayscale image stored as a flat row-major list of ints in [0, 255]."""
+
+    width: int
+    height: int
+    pixels: List[int]
+
+    def __post_init__(self) -> None:
+        if len(self.pixels) != self.width * self.height:
+            raise ValueError(
+                f"pixel count {len(self.pixels)} does not match "
+                f"{self.width}x{self.height}"
+            )
+
+    def at(self, x: int, y: int) -> int:
+        return self.pixels[y * self.width + x]
+
+    def set(self, x: int, y: int, value: int) -> None:
+        self.pixels[y * self.width + x] = max(0, min(255, int(value)))
+
+    def copy(self) -> "Image":
+        return Image(self.width, self.height, list(self.pixels))
+
+
+def _blank(width: int, height: int, value: int = 0) -> Image:
+    return Image(width, height, [value] * (width * height))
+
+
+def synthetic_scene(width: int, height: int, seed: int = 0,
+                    noise_amplitude: int = 6) -> Image:
+    """An edge-rich scene: gradient background, rectangles, a diagonal bar.
+
+    Designed for the Susan edge detector: it contains horizontal, vertical
+    and diagonal intensity steps plus smooth regions, so the detector's
+    output has structure that degrades visibly under injected errors.
+    """
+    rng = random.Random(seed)
+    image = _blank(width, height)
+    for y in range(height):
+        for x in range(width):
+            background = 40 + (150 * x) // max(1, width - 1)
+            image.set(x, y, background)
+
+    # Bright rectangle in the upper-left quadrant.
+    rect_w, rect_h = max(2, width // 3), max(2, height // 3)
+    rx, ry = width // 8, height // 8
+    for y in range(ry, min(height, ry + rect_h)):
+        for x in range(rx, min(width, rx + rect_w)):
+            image.set(x, y, 220)
+
+    # Dark rectangle in the lower-right quadrant.
+    rx2, ry2 = width // 2, height // 2
+    for y in range(ry2, min(height, ry2 + rect_h)):
+        for x in range(rx2, min(width, rx2 + rect_w)):
+            image.set(x, y, 25)
+
+    # Diagonal bright bar.
+    for i in range(min(width, height)):
+        for thickness in range(2):
+            x = i
+            y = min(height - 1, i + thickness)
+            image.set(x, y, 200)
+
+    # Mild sensor noise.
+    if noise_amplitude > 0:
+        for index in range(len(image.pixels)):
+            image.pixels[index] = max(
+                0, min(255, image.pixels[index] + rng.randint(-noise_amplitude,
+                                                              noise_amplitude)))
+    return image
+
+
+def moving_scene(width: int, height: int, frames: int, seed: int = 0) -> List[Image]:
+    """A short synthetic video: a bright block translating over a textured background.
+
+    Used by the MPEG-like codec; consecutive frames differ by a small motion
+    so that P/B frames carry small residuals, as in real video.
+    """
+    rng = random.Random(seed)
+    base = synthetic_scene(width, height, seed=seed, noise_amplitude=3)
+    sequence: List[Image] = []
+    block = max(3, width // 4)
+    for frame_index in range(frames):
+        frame = base.copy()
+        offset_x = (frame_index * 2) % max(1, width - block)
+        offset_y = (frame_index) % max(1, height - block)
+        for y in range(offset_y, offset_y + block):
+            for x in range(offset_x, offset_x + block):
+                frame.set(x, y, 240)
+        # Small temporal noise so frames are not trivially identical.
+        for _ in range(width):
+            x = rng.randrange(width)
+            y = rng.randrange(height)
+            frame.set(x, y, frame.at(x, y) + rng.randint(-4, 4))
+        sequence.append(frame)
+    return sequence
+
+
+def thermal_image_with_objects(
+    width: int, height: int, object_size: int, object_count: int = 2, seed: int = 0,
+) -> Tuple[Image, List[Tuple[int, int, int]]]:
+    """A synthetic thermal image with hot objects of distinct shapes.
+
+    Returns the image and a list of ``(class_index, x, y)`` placements.
+    Class 0 is a filled hot square, class 1 is a hot ring — the two shapes
+    the ART network is trained to distinguish.
+    """
+    rng = random.Random(seed)
+    image = _blank(width, height, value=30)
+    # Smooth thermal background with a gentle gradient and noise.
+    for y in range(height):
+        for x in range(width):
+            value = 30 + (20 * y) // max(1, height - 1) + rng.randint(-3, 3)
+            image.set(x, y, value)
+
+    placements: List[Tuple[int, int, int]] = []
+    occupied: List[Tuple[int, int]] = []
+    for object_index in range(object_count):
+        class_index = object_index % 2
+        for _ in range(100):
+            x = rng.randrange(0, max(1, width - object_size))
+            y = rng.randrange(0, max(1, height - object_size))
+            if all(abs(x - ox) >= object_size or abs(y - oy) >= object_size
+                   for ox, oy in occupied):
+                break
+        occupied.append((x, y))
+        placements.append((class_index, x, y))
+        for dy in range(object_size):
+            for dx in range(object_size):
+                on_border = dx in (0, object_size - 1) or dy in (0, object_size - 1)
+                if class_index == 0:
+                    hot = 220
+                else:
+                    hot = 220 if on_border else 60
+                image.set(x + dx, y + dy, hot + rng.randint(-5, 5))
+    return image, placements
+
+
+def object_template(class_index: int, size: int) -> List[float]:
+    """Normalised template of a learned object class (square or ring)."""
+    template: List[float] = []
+    for y in range(size):
+        for x in range(size):
+            on_border = x in (0, size - 1) or y in (0, size - 1)
+            if class_index == 0:
+                value = 1.0
+            else:
+                value = 1.0 if on_border else 0.2
+            template.append(value)
+    total = sum(template)
+    return [value / total for value in template]

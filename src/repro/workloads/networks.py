@@ -1,0 +1,152 @@
+"""Synthetic single-depot vehicle-scheduling instances for MCF.
+
+MCF (SPEC CPU2000 181.mcf) schedules vehicles for timetabled public-transit
+trips: based on routes and desired service frequencies, it builds a
+minimum-cost flow problem whose solution chains trips into vehicle blocks.
+The reference inputs are proprietary timetables, so we generate synthetic
+ones: trips with start/end times and stop coordinates, deadhead costs from
+the travel distance between a trip's end and the next trip's start, and a
+per-vehicle pull-in/pull-out cost.
+
+The module also computes the instance's optimal cost with a linear
+assignment solver (scipy), used as the fidelity reference.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+#: Marker used in cost tables for connections that are not feasible.
+INFEASIBLE = 1_000_000.0
+
+
+@dataclass
+class Trip:
+    """One timetabled trip."""
+
+    index: int
+    start_time: int
+    end_time: int
+    start_stop: Tuple[int, int]
+    end_stop: Tuple[int, int]
+
+
+@dataclass
+class SchedulingInstance:
+    """A complete vehicle-scheduling problem instance."""
+
+    trips: List[Trip]
+    pull_cost: float
+    deadhead: List[List[float]] = field(default_factory=list)
+    feasible: List[List[bool]] = field(default_factory=list)
+
+    @property
+    def trip_count(self) -> int:
+        return len(self.trips)
+
+    def link_cost(self, i: int, j: int) -> float:
+        return self.deadhead[i][j] if self.feasible[i][j] else INFEASIBLE
+
+    def cost_matrix(self) -> List[List[float]]:
+        """Deadhead costs with INFEASIBLE markers, ready for the fidelity check."""
+        count = self.trip_count
+        return [[self.link_cost(i, j) for j in range(count)] for i in range(count)]
+
+    # ------------------------------------------------------------------
+    # Reference optimum (assignment formulation).
+    # ------------------------------------------------------------------
+    def optimal_cost(self) -> float:
+        """Optimal schedule cost, via a linear assignment reduction.
+
+        Linking trip ``j`` after trip ``i`` replaces one depot pull
+        (``pull_cost``) by the deadhead cost, so each feasible link has a
+        reduced cost ``deadhead - pull_cost``.  Minimising total cost is a
+        maximum-saving matching between trip ends and trip starts; we solve
+        it exactly with ``linear_sum_assignment`` on the standard padded
+        2n x 2n matrix that allows every trip to stay unlinked.
+        """
+        count = self.trip_count
+        if count == 0:
+            return 0.0
+        big = INFEASIBLE
+        size = 2 * count
+        matrix = np.full((size, size), 0.0)
+        matrix[:count, :count] = big
+        for i in range(count):
+            for j in range(count):
+                if i != j and self.feasible[i][j]:
+                    reduced = self.deadhead[i][j] - self.pull_cost
+                    matrix[i, j] = min(reduced, big)
+            matrix[i, count + i] = 0.0
+            matrix[count + i, i] = 0.0
+        rows, cols = linear_sum_assignment(matrix)
+        linked = 0.0
+        for row, col in zip(rows, cols):
+            if row < count and col < count and matrix[row, col] < big:
+                linked += matrix[row, col]
+        return self.pull_cost * count + linked
+
+    def optimal_successors(self) -> List[int]:
+        """An optimal successor assignment (``-1`` meaning depot)."""
+        count = self.trip_count
+        successors = [-1] * count
+        if count == 0:
+            return successors
+        big = INFEASIBLE
+        size = 2 * count
+        matrix = np.full((size, size), 0.0)
+        matrix[:count, :count] = big
+        for i in range(count):
+            for j in range(count):
+                if i != j and self.feasible[i][j]:
+                    matrix[i, j] = min(self.deadhead[i][j] - self.pull_cost, big)
+            matrix[i, count + i] = 0.0
+            matrix[count + i, i] = 0.0
+        rows, cols = linear_sum_assignment(matrix)
+        for row, col in zip(rows, cols):
+            if row < count and col < count and matrix[row, col] < big:
+                successors[row] = int(col)
+        return successors
+
+
+def _distance(a: Tuple[int, int], b: Tuple[int, int]) -> float:
+    return float(abs(a[0] - b[0]) + abs(a[1] - b[1]))
+
+
+def transit_instance(trip_count: int, seed: int = 0, pull_cost: float = 400.0,
+                     area: int = 60, horizon: int = 600) -> SchedulingInstance:
+    """Generate a synthetic transit timetable.
+
+    Trips start at random times within ``horizon`` minutes and run between
+    random stops on an ``area`` x ``area`` grid.  A connection from trip
+    ``i`` to trip ``j`` is feasible when the vehicle can deadhead from
+    ``i``'s end stop to ``j``'s start stop before ``j`` departs.
+    """
+    rng = random.Random(seed)
+    trips: List[Trip] = []
+    for index in range(trip_count):
+        start_time = rng.randrange(0, horizon)
+        duration = rng.randrange(15, 60)
+        start_stop = (rng.randrange(area), rng.randrange(area))
+        end_stop = (rng.randrange(area), rng.randrange(area))
+        trips.append(Trip(index=index, start_time=start_time,
+                          end_time=start_time + duration,
+                          start_stop=start_stop, end_stop=end_stop))
+
+    instance = SchedulingInstance(trips=trips, pull_cost=pull_cost)
+    count = len(trips)
+    instance.deadhead = [[0.0] * count for _ in range(count)]
+    instance.feasible = [[False] * count for _ in range(count)]
+    for i in range(count):
+        for j in range(count):
+            if i == j:
+                continue
+            travel = _distance(trips[i].end_stop, trips[j].start_stop)
+            instance.deadhead[i][j] = 10.0 + travel
+            instance.feasible[i][j] = trips[i].end_time + travel <= trips[j].start_time
+    return instance

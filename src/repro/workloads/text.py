@@ -1,0 +1,73 @@
+"""ASCII text workloads for the Blowfish benchmark.
+
+The paper encrypts and decrypts an ASCII text file.  We generate
+deterministic pseudo-English text from a small word list and expose helpers
+to pack/unpack the byte stream into the 32-bit words the cipher operates
+on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+_WORDS = (
+    "the quick brown fox jumps over a lazy dog while seven wizards "
+    "quietly brew hex charms for the village clock tower and the "
+    "night train carries copper coils past frozen river bridges"
+).split()
+
+
+def ascii_text(length: int, seed: int = 0) -> str:
+    """Generate ``length`` characters of deterministic pseudo-English text."""
+    rng = random.Random(seed)
+    pieces: List[str] = []
+    size = 0
+    while size < length:
+        word = rng.choice(_WORDS)
+        pieces.append(word)
+        size += len(word) + 1
+    text = " ".join(pieces)
+    return text[:length]
+
+
+def text_to_bytes(text: str) -> List[int]:
+    """Encode text as a list of byte values (ASCII, errors replaced)."""
+    return list(text.encode("ascii", errors="replace"))
+
+
+def bytes_to_words(data: List[int]) -> List[int]:
+    """Pack bytes big-endian into 32-bit words, zero-padding the tail."""
+    padded = list(data)
+    while len(padded) % 4:
+        padded.append(0)
+    words = []
+    for index in range(0, len(padded), 4):
+        word = (
+            (padded[index] << 24)
+            | (padded[index + 1] << 16)
+            | (padded[index + 2] << 8)
+            | padded[index + 3]
+        )
+        # Store as a signed 32-bit value, matching the simulator's integers.
+        if word & 0x80000000:
+            word -= 1 << 32
+        words.append(word)
+    return words
+
+
+def words_to_bytes(words: List[int], length: int) -> List[int]:
+    """Unpack 32-bit words back into ``length`` bytes."""
+    data: List[int] = []
+    for word in words:
+        word &= 0xFFFFFFFF
+        data.extend([(word >> 24) & 0xFF, (word >> 16) & 0xFF, (word >> 8) & 0xFF, word & 0xFF])
+    return data[:length]
+
+
+def key_bytes(length: int, seed: int = 0) -> List[int]:
+    """A deterministic Blowfish key of ``length`` bytes (32..448 bits)."""
+    if not 4 <= length <= 56:
+        raise ValueError("Blowfish keys are 4 to 56 bytes long")
+    rng = random.Random(seed ^ 0xB10F)
+    return [rng.randrange(256) for _ in range(length)]

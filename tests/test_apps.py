@@ -1,0 +1,144 @@
+"""Integration tests: every benchmark application compiles, runs and is correct."""
+
+import pytest
+
+from repro.apps import APP_ORDER, create_app, small_suite
+from repro.apps.blowfish.app import initial_box_constants
+from repro.apps.blowfish.reference import BlowfishReference
+from repro.fidelity import signal_to_noise_db
+from repro.sim import Outcome
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return small_suite()
+
+
+class TestSuiteBasics:
+    def test_registry_contains_all_paper_apps(self, suite):
+        assert set(suite) == set(APP_ORDER)
+        assert set(APP_ORDER) == {"susan", "mpeg", "mcf", "blowfish", "gsm", "art", "adpcm"}
+
+    @pytest.mark.parametrize("name", APP_ORDER)
+    def test_golden_run_completes(self, suite, name):
+        app = suite[name]
+        golden = app.golden(0)
+        assert golden.result.outcome == Outcome.COMPLETED
+        assert golden.executed > 1000
+
+    @pytest.mark.parametrize("name", APP_ORDER)
+    def test_static_analysis_tags_instructions(self, suite, name):
+        app = suite[name]
+        report = app.tagging_report()
+        assert 0 < report.static_tagged < report.static_total
+        golden = app.golden(0)
+        assert 0.0 < golden.result.statistics.tagged_fraction < 1.0
+
+    @pytest.mark.parametrize("name", APP_ORDER)
+    def test_golden_output_scores_perfect(self, suite, name):
+        app = suite[name]
+        golden = app.golden(0)
+        fidelity = app.score_run(golden.result, seed=0)
+        assert fidelity is not None and fidelity.acceptable
+
+    def test_create_app_rejects_unknown_names(self):
+        with pytest.raises(KeyError):
+            create_app("bzip2")
+
+
+class TestAdpcm:
+    def test_decoded_output_tracks_input(self, suite):
+        app = suite["adpcm"]
+        golden = app.golden(0)
+        workload = app.generate_workload(0)
+        decoded = app.read_output(golden.result, workload)
+        snr = signal_to_noise_db(workload["pcm"], decoded)
+        assert snr > 15.0, "ADPCM at 4:1 compression should stay reasonably faithful"
+
+
+class TestBlowfish:
+    def test_roundtrip_recovers_plaintext(self, suite):
+        app = suite["blowfish"]
+        golden = app.golden(0)
+        workload = app.generate_workload(0)
+        assert app.read_output(golden.result, workload) == workload["text_bytes"]
+
+    def test_simulated_ciphertext_matches_reference(self, suite):
+        app = suite["blowfish"]
+        golden = app.golden(0)
+        workload = app.generate_workload(0)
+        cipher = BlowfishReference(initial_box_constants(18),
+                                   initial_box_constants(1024, seed=0x85A308D3),
+                                   workload["key"])
+        expected = cipher.encrypt_words(workload["words"])
+        observed = [int(v) for v in golden.result.memory.read_block(
+            golden.result.program.data_address("data_enc"), len(workload["words"]))]
+        assert observed == expected
+
+    def test_reference_decrypt_inverts_encrypt(self):
+        cipher = BlowfishReference(initial_box_constants(18),
+                                   initial_box_constants(1024, seed=0x85A308D3),
+                                   [1, 2, 3, 4, 5, 6, 7, 8])
+        left, right = cipher.encrypt_block(0x01234567, 0x89ABCDEF)
+        assert cipher.decrypt_block(left, right) == (0x01234567, 0x89ABCDEF)
+
+
+class TestMcf:
+    def test_golden_schedule_is_optimal(self, suite):
+        app = suite["mcf"]
+        golden = app.golden(0)
+        workload = app.generate_workload(0)
+        fidelity = app.score(golden.reference_output,
+                             app.read_output(golden.result, workload), workload)
+        assert fidelity.detail["optimal"] == 1.0
+        assert fidelity.detail["cost"] == pytest.approx(workload["optimal_cost"])
+
+    def test_multiple_seeds_remain_optimal(self):
+        app = create_app("mcf", trips=6)
+        for seed in range(3):
+            golden = app.golden(seed)
+            workload = app.generate_workload(seed)
+            fidelity = app.score(golden.reference_output,
+                                 app.read_output(golden.result, workload), workload)
+            assert fidelity.detail["optimal"] == 1.0
+
+
+class TestSusan:
+    def test_edges_detected_in_structured_scene(self, suite):
+        app = suite["susan"]
+        golden = app.golden(0)
+        workload = app.generate_workload(0)
+        edges = app.read_output(golden.result, workload)
+        assert any(value > 0 for value in edges), "the synthetic scene has edges"
+        assert all(0 <= value <= 255 for value in edges)
+
+
+class TestMpeg:
+    def test_decoded_frames_resemble_input(self, suite):
+        app = suite["mpeg"]
+        golden = app.golden(0)
+        workload = app.generate_workload(0)
+        decoded = app.read_output(golden.result, workload)
+        for frame, original in zip(decoded, workload["frames"]):
+            snr = signal_to_noise_db(original.pixels, frame)
+            assert snr > 20.0, "lossy codec should still track the input frame"
+
+
+class TestGsm:
+    def test_decoded_speech_tracks_input(self, suite):
+        app = suite["gsm"]
+        golden = app.golden(0)
+        workload = app.generate_workload(0)
+        decoded = app.read_output(golden.result, workload)
+        snr = signal_to_noise_db(workload["pcm"], decoded)
+        assert snr > 5.0, "LPC codec output should correlate with the input speech"
+
+
+class TestArt:
+    def test_golden_run_recognises_an_object(self, suite):
+        app = suite["art"]
+        golden = app.golden(0)
+        recognition = golden.reference_output
+        assert recognition.best_window >= 0
+        assert recognition.best_class in (0, 1)
+        assert recognition.confidence > 0.0

@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.minic import compile_source
+from repro.fidelity import percent_matching, psnr, signal_to_noise_db
+from repro.isa import (
+    INT_BITS,
+    bits_to_int,
+    flip_float_bit,
+    flip_int_bit,
+    int_to_bits,
+    wrap_int,
+)
+from repro.sim import Machine, Outcome
+from repro.workloads import bytes_to_words, words_to_bytes
+
+int32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+any_int = st.integers(min_value=-(2**40), max_value=2**40)
+
+
+class TestEncodingProperties:
+    @given(any_int)
+    def test_wrap_int_is_idempotent(self, value):
+        assert wrap_int(wrap_int(value)) == wrap_int(value)
+
+    @given(int32)
+    def test_wrap_int_is_identity_on_int32(self, value):
+        assert wrap_int(value) == value
+
+    @given(int32)
+    def test_int_bits_roundtrip(self, value):
+        assert bits_to_int(int_to_bits(value)) == value
+
+    @given(int32, st.integers(min_value=0, max_value=INT_BITS - 1))
+    def test_int_bit_flip_is_involution_and_changes_value(self, value, bit):
+        flipped = flip_int_bit(value, bit)
+        assert flipped != value
+        assert flip_int_bit(flipped, bit) == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=64),
+           st.integers(min_value=0, max_value=63))
+    def test_float_bit_flip_is_involution(self, value, bit):
+        flipped = flip_float_bit(value, bit)
+        restored = flip_float_bit(flipped, bit)
+        assert restored == value or (math.isnan(restored) and math.isnan(value))
+
+
+class TestFidelityProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=64))
+    def test_psnr_of_identical_images_is_max(self, pixels):
+        assert psnr(pixels, pixels) == 100.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=64),
+           st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=64))
+    def test_psnr_is_bounded(self, a, b):
+        size = min(len(a), len(b))
+        value = psnr(a[:size], b[:size])
+        assert 0.0 <= value <= 100.0
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=64))
+    def test_snr_upper_bound(self, signal):
+        assert signal_to_noise_db(signal, signal) <= 100.0
+
+    @given(st.lists(st.integers(), max_size=64), st.lists(st.integers(), max_size=64))
+    def test_percent_matching_bounds(self, a, b):
+        value = percent_matching(a, b)
+        assert 0.0 <= value <= 100.0
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=128))
+    def test_word_packing_roundtrip(self, data):
+        assert words_to_bytes(bytes_to_words(data), len(data)) == data
+
+
+class TestCompilerExecutionProperties:
+    """The compiled + simulated program must agree with Python semantics."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=-1000, max_value=1000),
+           st.integers(min_value=-1000, max_value=1000),
+           st.integers(min_value=1, max_value=50))
+    def test_integer_expression_matches_python(self, a, b, c):
+        source = f"""
+        int main() {{
+            int a = {a};
+            int b = {b};
+            int c = {c};
+            return (a * 3 - b) % c + (a & 255) - (b >> 2);
+        }}
+        """
+        program = compile_source(source)
+        result = Machine(program).run()
+        assert result.outcome == Outcome.COMPLETED
+        expected = wrap_int((a * 3 - b) - int((a * 3 - b) / c) * c
+                            + (a & 255) - (b >> 2))
+        assert result.exit_value == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=-500, max_value=500), min_size=1, max_size=24))
+    def test_array_sum_matches_python(self, values):
+        source = """
+        int data[32];
+        int main() {
+            int total = 0;
+            for (int i = 0; i < %d; i = i + 1) { total = total + data[i]; }
+            return total;
+        }
+        """ % len(values)
+        program = compile_source(source)
+        machine = Machine(program)
+        machine.write_global("data", values)
+        result = machine.run()
+        assert result.exit_value == sum(values)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=12))
+    def test_loop_count_matches_python(self, n):
+        source = f"""
+        int main() {{
+            int count = 0;
+            for (int i = 0; i < {n}; i = i + 1) {{
+                for (int j = 0; j <= i; j = j + 1) {{ count = count + 1; }}
+            }}
+            return count;
+        }}
+        """
+        result = Machine(compile_source(source)).run()
+        assert result.exit_value == n * (n + 1) // 2
