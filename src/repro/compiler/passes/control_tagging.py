@@ -262,6 +262,9 @@ class ControlTaggingPass:
 
         tagged.sort()
         protected.sort()
+        # The tag bits feed the simulator's exposure vectors; drop any
+        # pre-decoded form so the next run re-decodes with the new tags.
+        program.invalidate_decode_cache()
         return TaggingReport(
             tagged_indices=tagged,
             protected_indices=protected,

@@ -3,7 +3,11 @@
 Every application in :mod:`repro.apps` subclasses
 :class:`ErrorTolerantApp`.  The base class owns compilation, control-data
 tagging and golden-run caching so that fault-injection campaigns pay those
-costs once per application instance.
+costs once per application instance.  The compiled program additionally
+carries the simulator's decode cache (see :mod:`repro.sim.decode`): the
+first run lowers it to threaded code once, and every subsequent run —
+including runs in :class:`~repro.core.campaign.CampaignRunner` worker
+processes, which receive the app pickled warm — reuses the decoded form.
 """
 
 from __future__ import annotations

@@ -5,15 +5,31 @@ injected soft errors and a fixed protection mode, classifies every run
 (completed / crash / infinite run) and scores the completed runs with the
 application's fidelity measure.  A *sweep* repeats the campaign over a list
 of error counts, producing the series the paper plots in Figures 1-6.
+
+Campaign throughput matters: every data point in the paper's figures is a
+full program execution, so the runner is built around two optimisations:
+
+* **Golden-run memoization** — the error-free run of each workload seed is
+  simulated once per runner (:meth:`CampaignRunner.golden_for`) and its
+  exposed-dynamic-instruction count is reused by every injection plan in
+  the campaign, instead of re-deriving it inside the run loop.
+* **Parallel fan-out** — ``CampaignConfig(parallel=N)`` distributes the
+  runs of a campaign cell over ``N`` worker processes with a
+  :class:`~concurrent.futures.ProcessPoolExecutor`.  Every run's injection
+  plan is derived purely from ``(base_seed, run_index, errors)``, so the
+  records are **bit-identical** to a serial campaign under the same seeds;
+  workers receive the application pre-compiled and pre-warmed (golden runs
+  cached) so they never repeat the setup work.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..sim import Outcome, ProtectionMode, plan_injections
-from .app import ErrorTolerantApp
+from .app import ErrorTolerantApp, GoldenRun
 from .outcomes import CampaignResult, RunRecord, SweepResult
 
 ProgressCallback = Callable[[str], None]
@@ -28,12 +44,69 @@ class CampaignConfig:
     #: Number of distinct workloads cycled through the runs.  The paper uses
     #: one input per application; more workloads reduce input-specific bias.
     workloads: int = 1
+    #: Number of worker processes a campaign cell fans out over.  ``1`` runs
+    #: serially in-process; ``N > 1`` uses a process pool and produces
+    #: records bit-identical to the serial runner under the same seeds.
+    parallel: int = 1
 
     def seed_for(self, run_index: int) -> int:
         return self.base_seed + 7919 * run_index
 
     def workload_seed_for(self, run_index: int) -> int:
         return run_index % max(1, self.workloads)
+
+
+def _make_record(app: ErrorTolerantApp, config: CampaignConfig, run_index: int,
+                 errors: int, mode: ProtectionMode,
+                 golden: Optional[GoldenRun] = None) -> RunRecord:
+    """Execute one campaign run and build its record.
+
+    Shared by the serial loop and the pool workers so both paths derive the
+    injection plan from identical inputs — the basis of the serial/parallel
+    determinism guarantee.
+    """
+    workload_seed = config.workload_seed_for(run_index)
+    if golden is None:
+        golden = app.golden(workload_seed)
+    exposed = golden.exposed_count(mode)
+    injection_seed = config.seed_for(run_index) + 104729 * errors
+    if errors > 0 and mode is not ProtectionMode.NONE:
+        plan = plan_injections(errors, exposed, mode, seed=injection_seed)
+    else:
+        plan = None
+    run = app.run_once(injection=plan, seed=workload_seed)
+    fidelity = app.score_run(run, seed=workload_seed)
+    return RunRecord(
+        run_index=run_index,
+        seed=workload_seed,
+        mode=mode,
+        errors_requested=errors,
+        errors_injected=plan.injected_errors if plan is not None else 0,
+        outcome=run.outcome,
+        executed=run.executed,
+        fidelity=fidelity,
+        fault_kind=run.fault_kind,
+    )
+
+
+# ----------------------------------------------------------------------
+# Process-pool plumbing.  The application (pre-compiled, goldens warm) and
+# the config are shipped once per worker via the pool initializer; tasks are
+# tiny (run_index, errors, mode) tuples.
+# ----------------------------------------------------------------------
+_WORKER_APP: Optional[ErrorTolerantApp] = None
+_WORKER_CONFIG: Optional[CampaignConfig] = None
+
+
+def _campaign_worker_init(app: ErrorTolerantApp, config: CampaignConfig) -> None:
+    global _WORKER_APP, _WORKER_CONFIG
+    _WORKER_APP = app
+    _WORKER_CONFIG = config
+
+
+def _campaign_worker_run(task) -> RunRecord:
+    run_index, errors, mode = task
+    return _make_record(_WORKER_APP, _WORKER_CONFIG, run_index, errors, mode)
 
 
 class CampaignRunner:
@@ -44,46 +117,92 @@ class CampaignRunner:
         self.app = app
         self.config = config or CampaignConfig()
         self._progress = progress
+        self._goldens: Dict[int, GoldenRun] = {}
 
     def _report(self, message: str) -> None:
         if self._progress is not None:
             self._progress(message)
 
     # ------------------------------------------------------------------
+    # Golden-run memoization.
+    # ------------------------------------------------------------------
+    def golden_for(self, workload_seed: int) -> GoldenRun:
+        """Golden run for one workload seed, simulated at most once.
+
+        The cached run's exposed-dynamic-instruction counts feed every
+        injection plan of the campaign (``plan_injections`` draws targets
+        uniformly over the exposed stream observed in the golden run).
+        """
+        golden = self._goldens.get(workload_seed)
+        if golden is None:
+            golden = self.app.golden(workload_seed)
+            self._goldens[workload_seed] = golden
+        return golden
+
+    def _warm_goldens(self) -> None:
+        """Simulate the golden run of every distinct workload seed once.
+
+        ``workload_seed_for`` cycles ``run_index % workloads``, so the
+        distinct seeds are exactly ``range(min(runs, workloads))``.
+        """
+        for seed in range(min(self.config.runs, max(1, self.config.workloads))):
+            self.golden_for(seed)
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        """Process pool whose workers receive the app warm (goldens cached)."""
+        return ProcessPoolExecutor(
+            max_workers=min(self.config.parallel, self.config.runs),
+            initializer=_campaign_worker_init,
+            initargs=(self.app, self.config),
+        )
+
+    @property
+    def _is_parallel(self) -> bool:
+        return self.config.parallel > 1 and self.config.runs > 1
+
+    # ------------------------------------------------------------------
     # Single campaign cell.
     # ------------------------------------------------------------------
-    def run_campaign(self, errors: int, mode: ProtectionMode) -> CampaignResult:
-        """Run ``config.runs`` injected executions with ``errors`` bit flips."""
+    def run_campaign(self, errors: int, mode: ProtectionMode,
+                     _pool: Optional[ProcessPoolExecutor] = None) -> CampaignResult:
+        """Run ``config.runs`` injected executions with ``errors`` bit flips.
+
+        ``_pool`` lets multi-cell drivers (sweeps, comparisons) reuse one
+        warm worker pool across cells instead of re-spawning per cell.
+        """
+        config = self.config
         result = CampaignResult(app_name=self.app.name, mode=mode, errors_requested=errors)
-        for run_index in range(self.config.runs):
-            workload_seed = self.config.workload_seed_for(run_index)
-            golden = self.app.golden(workload_seed)
-            exposed = golden.exposed_count(mode)
-            injection_seed = self.config.seed_for(run_index) + 104729 * errors
-            if errors > 0 and mode is not ProtectionMode.NONE:
-                plan = plan_injections(errors, exposed, mode, seed=injection_seed)
-            else:
-                plan = None
-            run = self.app.run_once(injection=plan, seed=workload_seed)
-            fidelity = self.app.score_run(run, seed=workload_seed)
-            result.records.append(
-                RunRecord(
-                    run_index=run_index,
-                    seed=workload_seed,
-                    mode=mode,
-                    errors_requested=errors,
-                    errors_injected=plan.injected_errors if plan is not None else 0,
-                    outcome=run.outcome,
-                    executed=run.executed,
-                    fidelity=fidelity,
-                    fault_kind=run.fault_kind,
+        self._warm_goldens()
+        if _pool is not None:
+            result.records.extend(self._run_parallel(errors, mode, _pool))
+        elif self._is_parallel:
+            with self._make_pool() as pool:
+                result.records.extend(self._run_parallel(errors, mode, pool))
+        else:
+            for run_index in range(config.runs):
+                golden = self.golden_for(config.workload_seed_for(run_index))
+                result.records.append(
+                    _make_record(self.app, config, run_index, errors, mode, golden)
                 )
-            )
         self._report(
             f"{self.app.name}: {errors} errors, {mode.value}: "
             f"{result.failure_percent:.0f}% failures"
         )
         return result
+
+    def _run_parallel(self, errors: int, mode: ProtectionMode,
+                      pool: ProcessPoolExecutor) -> List[RunRecord]:
+        """Fan the cell's runs out over the process pool.
+
+        The app is shipped warm (program compiled, goldens cached by
+        ``_warm_goldens``), so workers only execute injected runs.  Results
+        come back in run-index order.
+        """
+        config = self.config
+        workers = min(config.parallel, config.runs)
+        tasks = [(run_index, errors, mode) for run_index in range(config.runs)]
+        chunksize = max(1, len(tasks) // (workers * 4))
+        return list(pool.map(_campaign_worker_run, tasks, chunksize=chunksize))
 
     # ------------------------------------------------------------------
     # Error-count sweep (one figure series).
@@ -92,12 +211,27 @@ class CampaignRunner:
                   mode: ProtectionMode = ProtectionMode.PROTECTED) -> SweepResult:
         axis = list(errors_axis if errors_axis is not None else self.app.default_error_sweep)
         sweep = SweepResult(app_name=self.app.name, mode=mode)
-        for errors in axis:
-            sweep.cells.append(self.run_campaign(errors, mode))
+        if self._is_parallel and len(axis) > 1:
+            # One worker pool serves every cell of the sweep: the warm app
+            # is pickled once per worker, not once per error count.
+            self._warm_goldens()
+            with self._make_pool() as pool:
+                for errors in axis:
+                    sweep.cells.append(self.run_campaign(errors, mode, _pool=pool))
+        else:
+            for errors in axis:
+                sweep.cells.append(self.run_campaign(errors, mode))
         return sweep
 
     def run_protection_comparison(self, errors: int) -> dict:
         """Run the same error count with and without control protection."""
+        if self._is_parallel:
+            self._warm_goldens()
+            with self._make_pool() as pool:
+                return {
+                    mode: self.run_campaign(errors, mode, _pool=pool)
+                    for mode in (ProtectionMode.PROTECTED, ProtectionMode.UNPROTECTED)
+                }
         return {
             ProtectionMode.PROTECTED: self.run_campaign(errors, ProtectionMode.PROTECTED),
             ProtectionMode.UNPROTECTED: self.run_campaign(errors, ProtectionMode.UNPROTECTED),
@@ -106,7 +240,8 @@ class CampaignRunner:
 
 def run_quick_campaign(app: ErrorTolerantApp, errors: int, runs: int = 5,
                        mode: ProtectionMode = ProtectionMode.PROTECTED,
-                       base_seed: int = 2006) -> CampaignResult:
+                       base_seed: int = 2006, parallel: int = 1) -> CampaignResult:
     """One-call helper used by examples and tests."""
-    runner = CampaignRunner(app, CampaignConfig(runs=runs, base_seed=base_seed))
+    runner = CampaignRunner(app, CampaignConfig(runs=runs, base_seed=base_seed,
+                                                parallel=parallel))
     return runner.run_campaign(errors, mode)

@@ -151,6 +151,21 @@ class Program:
         return self
 
     # ------------------------------------------------------------------
+    # Decode cache.
+    # ------------------------------------------------------------------
+    def invalidate_decode_cache(self) -> None:
+        """Drop the cached pre-decoded form (see :mod:`repro.sim.decode`).
+
+        The simulator lowers a finalized program once into flat operand
+        arrays with resolved targets and caches the result on this object.
+        Passes that change execution-relevant instruction state (e.g. the
+        control-tagging pass flipping ``low_reliability`` bits) call this so
+        the next run re-decodes; the cache also self-validates against the
+        tag vector as a second line of defence.
+        """
+        self._decoded_cache = None
+
+    # ------------------------------------------------------------------
     # Queries.
     # ------------------------------------------------------------------
     @property
@@ -203,6 +218,7 @@ class Program:
         if names is None:
             for info in self.functions.values():
                 info.eligible = True
+            self.invalidate_decode_cache()
             return
         allowed = set(names)
         unknown = allowed - set(self.functions)
@@ -210,6 +226,7 @@ class Program:
             raise ProgramError(f"unknown functions marked eligible: {sorted(unknown)}")
         for info in self.functions.values():
             info.eligible = info.name in allowed
+        self.invalidate_decode_cache()
 
     # ------------------------------------------------------------------
     # Listings.

@@ -8,11 +8,13 @@ from .errors import (
     SyscallFault,
     WatchdogExpired,
 )
+from .decode import DecodedProgram, decode_program
 from .faults import (
     InjectionEvent,
     InjectionPlan,
     ProtectionMode,
     exposed_static_indices,
+    exposure_flags,
     instruction_is_exposed,
     plan_injections,
 )
@@ -24,6 +26,7 @@ from .machine import (
     RunResult,
     RunStatistics,
     run_program,
+    summarise_counts,
 )
 from .memory import Memory
 
@@ -32,6 +35,7 @@ __all__ = [
     "ControlFault",
     "DEFAULT_MAX_INSTRUCTIONS",
     "DEFAULT_WATCHDOG_FACTOR",
+    "DecodedProgram",
     "InjectionEvent",
     "InjectionPlan",
     "Machine",
@@ -44,8 +48,11 @@ __all__ = [
     "SimFault",
     "SyscallFault",
     "WatchdogExpired",
+    "decode_program",
     "exposed_static_indices",
+    "exposure_flags",
     "instruction_is_exposed",
     "plan_injections",
     "run_program",
+    "summarise_counts",
 ]

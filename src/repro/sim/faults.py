@@ -63,6 +63,16 @@ def exposed_static_indices(program: Program, mode: ProtectionMode) -> List[int]:
     ]
 
 
+def exposure_flags(instructions: Sequence[Instruction],
+                   mode: ProtectionMode) -> List[bool]:
+    """Per-instruction exposure bit-vector for ``mode``.
+
+    Computed once per program by the decode cache
+    (:mod:`repro.sim.decode`) rather than rebuilt on every run.
+    """
+    return [instruction_is_exposed(instruction, mode) for instruction in instructions]
+
+
 @dataclass
 class InjectionEvent:
     """Record of one performed bit flip."""

@@ -1,0 +1,374 @@
+"""Reference interpreter: the seed `if/elif` execution loop, preserved.
+
+This is the original (pre-decode) execution engine kept as an independent
+oracle.  It re-resolves branch targets, re-reads ``instruction.rs1.index``
+and re-classifies exposure on every run — slow, but its behaviour defines
+the simulator's semantics.  The differential test suite runs every
+application through both engines and asserts byte-identical
+:class:`~repro.sim.machine.RunResult` fields, and the interpreter perf
+benchmark uses it as the baseline the decoded engine's speedup is measured
+against.
+
+Use via ``Machine.run(..., engine="reference")``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..isa import Opcode
+from ..isa.encoding import FLOAT_BITS, INT_BITS, flip_float_bit, flip_int_bit, wrap_int
+from ..isa.registers import RV, ZERO
+from .errors import (
+    ArithmeticFault,
+    ControlFault,
+    MemoryFault,
+    SimFault,
+    SyscallFault,
+    WatchdogExpired,
+)
+from .faults import InjectionEvent, InjectionPlan, ProtectionMode, instruction_is_exposed
+
+
+def execute_reference(machine, max_instructions: int,
+                      injection: Optional[InjectionPlan]):
+    """Execute ``machine``'s program with the seed interpreter loop."""
+    from .machine import Outcome, RunResult  # deferred: machine.py imports us
+
+    program = machine.program
+    instructions = program.instructions
+    text_len = len(instructions)
+    exec_counts = [0] * text_len
+
+    mode = injection.mode if injection is not None else ProtectionMode.NONE
+    exposed_flags = [
+        instruction_is_exposed(instruction, mode) for instruction in instructions
+    ]
+    targets = list(injection.targets) if injection is not None else []
+    target_ptr = 0
+    exposed_counter = 0
+
+    int_regs = machine.int_regs
+    float_regs = machine.float_regs
+    memory = machine.memory
+    mem_cells = memory.cells
+    # The functional simulator maps the entire signed 32-bit word-address
+    # space lazily (as SimpleScalar's paged memory does), so a corrupted
+    # address silently reads zeros or clobbers an unrelated cell instead
+    # of faulting; catastrophic failures come from corrupted control.
+    mem_lo, mem_hi = -2147483648, 2147483648
+    outputs = machine.outputs
+
+    # Pre-resolve control-flow targets and data addresses.
+    resolved_target: List[int] = [0] * text_len
+    for index, instruction in enumerate(instructions):
+        if instruction.label is not None:
+            if instruction.op is Opcode.LA:
+                resolved_target[index] = program.data_address(instruction.label)
+            elif instruction.is_control:
+                resolved_target[index] = program.resolve_label(instruction.label)
+
+    pc = program.entry_index
+    executed = 0
+    fault: Optional[SimFault] = None
+    outcome = Outcome.COMPLETED
+
+    O = Opcode  # local alias for speed
+    try:
+        while True:
+            if pc < 0 or pc >= text_len:
+                # Returning from main through the RA sentinel is a clean halt.
+                if pc == text_len:
+                    break
+                raise ControlFault(f"program counter left text segment: {pc}", pc)
+            if executed >= max_instructions:
+                raise WatchdogExpired(executed, max_instructions)
+            instruction = instructions[pc]
+            exec_counts[pc] += 1
+            executed += 1
+            op = instruction.op
+            next_pc = pc + 1
+            result = None
+            result_is_float = False
+            rd_index = instruction.rd.index if instruction.rd is not None else -1
+
+            if op is O.ADD:
+                result = wrap_int(int_regs[instruction.rs1.index] + int_regs[instruction.rs2.index])
+            elif op is O.ADDI:
+                result = wrap_int(int_regs[instruction.rs1.index] + instruction.imm)
+            elif op is O.SUB:
+                result = wrap_int(int_regs[instruction.rs1.index] - int_regs[instruction.rs2.index])
+            elif op is O.MUL:
+                result = wrap_int(int_regs[instruction.rs1.index] * int_regs[instruction.rs2.index])
+            elif op is O.DIV:
+                divisor = int_regs[instruction.rs2.index]
+                if divisor == 0:
+                    raise ArithmeticFault("integer division by zero", pc)
+                result = wrap_int(int(int_regs[instruction.rs1.index] / divisor))
+            elif op is O.REM:
+                divisor = int_regs[instruction.rs2.index]
+                if divisor == 0:
+                    raise ArithmeticFault("integer remainder by zero", pc)
+                dividend = int_regs[instruction.rs1.index]
+                result = wrap_int(dividend - int(dividend / divisor) * divisor)
+            elif op is O.AND:
+                result = int_regs[instruction.rs1.index] & int_regs[instruction.rs2.index]
+            elif op is O.OR:
+                result = int_regs[instruction.rs1.index] | int_regs[instruction.rs2.index]
+            elif op is O.XOR:
+                result = int_regs[instruction.rs1.index] ^ int_regs[instruction.rs2.index]
+            elif op is O.NOR:
+                result = wrap_int(~(int_regs[instruction.rs1.index] | int_regs[instruction.rs2.index]))
+            elif op is O.SLL:
+                result = wrap_int(int_regs[instruction.rs1.index] << (int_regs[instruction.rs2.index] & 31))
+            elif op is O.SRL:
+                result = wrap_int((int_regs[instruction.rs1.index] & 0xFFFFFFFF) >> (int_regs[instruction.rs2.index] & 31))
+            elif op is O.SRA:
+                result = wrap_int(int_regs[instruction.rs1.index] >> (int_regs[instruction.rs2.index] & 31))
+            elif op is O.SLT:
+                result = 1 if int_regs[instruction.rs1.index] < int_regs[instruction.rs2.index] else 0
+            elif op is O.SLE:
+                result = 1 if int_regs[instruction.rs1.index] <= int_regs[instruction.rs2.index] else 0
+            elif op is O.SEQ:
+                result = 1 if int_regs[instruction.rs1.index] == int_regs[instruction.rs2.index] else 0
+            elif op is O.SNE:
+                result = 1 if int_regs[instruction.rs1.index] != int_regs[instruction.rs2.index] else 0
+            elif op is O.ANDI:
+                result = int_regs[instruction.rs1.index] & instruction.imm
+            elif op is O.ORI:
+                result = int_regs[instruction.rs1.index] | instruction.imm
+            elif op is O.XORI:
+                result = int_regs[instruction.rs1.index] ^ instruction.imm
+            elif op is O.SLLI:
+                result = wrap_int(int_regs[instruction.rs1.index] << (instruction.imm & 31))
+            elif op is O.SRLI:
+                result = wrap_int((int_regs[instruction.rs1.index] & 0xFFFFFFFF) >> (instruction.imm & 31))
+            elif op is O.SRAI:
+                result = wrap_int(int_regs[instruction.rs1.index] >> (instruction.imm & 31))
+            elif op is O.SLTI:
+                result = 1 if int_regs[instruction.rs1.index] < instruction.imm else 0
+            elif op is O.LI:
+                result = wrap_int(int(instruction.imm))
+
+            # Floating point.
+            elif op is O.FADD:
+                result = float_regs[instruction.rs1.index] + float_regs[instruction.rs2.index]
+                result_is_float = True
+            elif op is O.FSUB:
+                result = float_regs[instruction.rs1.index] - float_regs[instruction.rs2.index]
+                result_is_float = True
+            elif op is O.FMUL:
+                result = float_regs[instruction.rs1.index] * float_regs[instruction.rs2.index]
+                result_is_float = True
+            elif op is O.FDIV:
+                numerator = float_regs[instruction.rs1.index]
+                denominator = float_regs[instruction.rs2.index]
+                if denominator == 0.0:
+                    if numerator == 0.0 or numerator != numerator:
+                        result = float("nan")
+                    else:
+                        result = math.copysign(float("inf"), numerator)
+                else:
+                    result = numerator / denominator
+                result_is_float = True
+            elif op is O.FNEG:
+                result = -float_regs[instruction.rs1.index]
+                result_is_float = True
+            elif op is O.FABS:
+                result = abs(float_regs[instruction.rs1.index])
+                result_is_float = True
+            elif op is O.FMIN:
+                result = min(float_regs[instruction.rs1.index], float_regs[instruction.rs2.index])
+                result_is_float = True
+            elif op is O.FMAX:
+                result = max(float_regs[instruction.rs1.index], float_regs[instruction.rs2.index])
+                result_is_float = True
+            elif op is O.FSQRT:
+                operand = float_regs[instruction.rs1.index]
+                result = math.sqrt(operand) if operand >= 0.0 else float("nan")
+                result_is_float = True
+            elif op is O.FLI:
+                result = float(instruction.imm)
+                result_is_float = True
+            elif op is O.FEQ:
+                result = 1 if float_regs[instruction.rs1.index] == float_regs[instruction.rs2.index] else 0
+            elif op is O.FLT:
+                result = 1 if float_regs[instruction.rs1.index] < float_regs[instruction.rs2.index] else 0
+            elif op is O.FLE:
+                result = 1 if float_regs[instruction.rs1.index] <= float_regs[instruction.rs2.index] else 0
+            elif op is O.CVTIF:
+                result = float(int_regs[instruction.rs1.index])
+                result_is_float = True
+            elif op is O.CVTFI:
+                operand = float_regs[instruction.rs1.index]
+                if operand != operand:  # NaN
+                    result = 0
+                elif operand >= 2147483648.0:
+                    result = 2147483647
+                elif operand <= -2147483649.0:
+                    result = -2147483648
+                else:
+                    result = int(operand)
+
+            # Memory.
+            elif op is O.LW:
+                address = int_regs[instruction.rs1.index] + instruction.imm
+                if address < mem_lo or address >= mem_hi:
+                    raise MemoryFault(f"load from invalid address {address}", pc)
+                value = mem_cells.get(address, 0)
+                result = int(value) if not isinstance(value, int) else value
+            elif op is O.FLW:
+                address = int_regs[instruction.rs1.index] + instruction.imm
+                if address < mem_lo or address >= mem_hi:
+                    raise MemoryFault(f"load from invalid address {address}", pc)
+                result = float(mem_cells.get(address, 0))
+                result_is_float = True
+            elif op is O.SW:
+                address = int_regs[instruction.rs1.index] + instruction.imm
+                if address < mem_lo or address >= mem_hi:
+                    raise MemoryFault(f"store to invalid address {address}", pc)
+                mem_cells[address] = int_regs[instruction.rs2.index]
+            elif op is O.FSW:
+                address = int_regs[instruction.rs1.index] + instruction.imm
+                if address < mem_lo or address >= mem_hi:
+                    raise MemoryFault(f"store to invalid address {address}", pc)
+                mem_cells[address] = float_regs[instruction.rs2.index]
+            elif op is O.LA:
+                result = resolved_target[pc]
+
+            # Control flow.
+            elif op is O.BEQ:
+                if int_regs[instruction.rs1.index] == int_regs[instruction.rs2.index]:
+                    next_pc = resolved_target[pc]
+            elif op is O.BNE:
+                if int_regs[instruction.rs1.index] != int_regs[instruction.rs2.index]:
+                    next_pc = resolved_target[pc]
+            elif op is O.BLT:
+                if int_regs[instruction.rs1.index] < int_regs[instruction.rs2.index]:
+                    next_pc = resolved_target[pc]
+            elif op is O.BLE:
+                if int_regs[instruction.rs1.index] <= int_regs[instruction.rs2.index]:
+                    next_pc = resolved_target[pc]
+            elif op is O.BGT:
+                if int_regs[instruction.rs1.index] > int_regs[instruction.rs2.index]:
+                    next_pc = resolved_target[pc]
+            elif op is O.BGE:
+                if int_regs[instruction.rs1.index] >= int_regs[instruction.rs2.index]:
+                    next_pc = resolved_target[pc]
+            elif op is O.BEQZ:
+                if int_regs[instruction.rs1.index] == 0:
+                    next_pc = resolved_target[pc]
+            elif op is O.BNEZ:
+                if int_regs[instruction.rs1.index] != 0:
+                    next_pc = resolved_target[pc]
+            elif op is O.J:
+                next_pc = resolved_target[pc]
+            elif op is O.JAL:
+                result = pc + 1
+                next_pc = resolved_target[pc]
+            elif op is O.JR:
+                target = int_regs[instruction.rs1.index]
+                if not isinstance(target, int) or target < 0 or target > text_len:
+                    raise ControlFault(f"jump to invalid address {target!r}", pc)
+                next_pc = target
+
+            # System.
+            elif op is O.OUT:
+                channel = int(instruction.imm)
+                outputs.setdefault(channel, []).append(int_regs[instruction.rs1.index])
+            elif op is O.FOUT:
+                channel = int(instruction.imm)
+                outputs.setdefault(channel, []).append(float_regs[instruction.rs1.index])
+            elif op is O.HALT:
+                break
+            elif op is O.NOP:
+                pass
+            else:  # pragma: no cover - defensive; all opcodes are handled
+                raise SyscallFault(f"unhandled opcode {op.name}", pc)
+
+            # Write back the result, applying an injected bit flip when
+            # this dynamic instance is one of the plan's targets.
+            if result is not None and rd_index >= 0:
+                if exposed_flags[pc]:
+                    if target_ptr < len(targets) and exposed_counter == targets[target_ptr]:
+                        if result_is_float:
+                            bit = injection.choose_bit(FLOAT_BITS)
+                            corrupted = flip_float_bit(result, bit)
+                        else:
+                            bit = injection.choose_bit(INT_BITS)
+                            corrupted = flip_int_bit(result, bit)
+                        injection.record(
+                            InjectionEvent(
+                                dynamic_index=exposed_counter,
+                                static_index=pc,
+                                opcode=op.name,
+                                bit=bit,
+                                original=result,
+                                corrupted=corrupted,
+                            )
+                        )
+                        result = corrupted
+                        target_ptr += 1
+                    exposed_counter += 1
+                if result_is_float:
+                    float_regs[rd_index] = result
+                else:
+                    if rd_index != ZERO:
+                        int_regs[rd_index] = result
+            pc = next_pc
+
+    except SimFault as exc:
+        outcome = Outcome.CRASH
+        fault = exc
+    except WatchdogExpired:
+        outcome = Outcome.HANG
+    except (OverflowError, ValueError) as exc:
+        # Extremely corrupted float values can overflow conversions; the
+        # closest hardware analogue is a crash.
+        outcome = Outcome.CRASH
+        fault = SimFault(f"numeric fault: {exc}", pc)
+
+    statistics = _summarise_reference(program, exec_counts)
+    return RunResult(
+        outcome=outcome,
+        executed=executed,
+        exit_value=machine.int_regs[RV] if outcome == Outcome.COMPLETED else None,
+        outputs=outputs,
+        fault=str(fault) if fault is not None else None,
+        fault_kind=fault.kind if fault is not None else None,
+        statistics=statistics,
+        exec_counts=exec_counts,
+        injection=injection,
+        memory=machine.memory,
+        program=machine.program,
+    )
+
+
+def _summarise_reference(program, exec_counts: List[int]):
+    """Per-instruction statistics pass exactly as the seed interpreter did."""
+    from .machine import RunStatistics  # deferred: machine.py imports us
+
+    stats = RunStatistics()
+    for index, count in enumerate(exec_counts):
+        if count == 0:
+            continue
+        instruction = program.instructions[index]
+        stats.total += count
+        if instruction.is_arithmetic:
+            stats.arithmetic += count
+        elif instruction.is_memory:
+            stats.memory += count
+        elif instruction.is_branch:
+            stats.branch += count
+        elif instruction.info.is_call:
+            stats.call += count
+        else:
+            stats.other += count
+        if instruction.low_reliability:
+            stats.tagged += count
+        if instruction_is_exposed(instruction, ProtectionMode.PROTECTED):
+            stats.exposed_protected += count
+        if instruction_is_exposed(instruction, ProtectionMode.UNPROTECTED):
+            stats.exposed_unprotected += count
+    return stats

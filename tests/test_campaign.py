@@ -100,6 +100,44 @@ class TestCampaignRunner:
         assert len(sweep.failure_series()) == 3
         assert sweep.cell(2).errors_requested == 2
 
+    def test_golden_runs_are_memoized_per_workload_seed(self, adpcm):
+        runner = CampaignRunner(adpcm, CampaignConfig(runs=5, base_seed=3))
+        runner.run_campaign(2, ProtectionMode.PROTECTED)
+        # One workload seed -> exactly one memoized golden run, shared with
+        # (not re-simulated from) the application's own cache.
+        assert set(runner._goldens) == {0}
+        assert runner.golden_for(0) is adpcm.golden(0)
+
+
+class TestParallelCampaign:
+    """CampaignConfig(parallel=N) must be bit-identical to the serial runner."""
+
+    def test_parallel_records_match_serial(self, adpcm):
+        serial = CampaignRunner(
+            adpcm, CampaignConfig(runs=6, base_seed=11)
+        ).run_campaign(4, ProtectionMode.PROTECTED)
+        parallel = CampaignRunner(
+            adpcm, CampaignConfig(runs=6, base_seed=11, parallel=2)
+        ).run_campaign(4, ProtectionMode.PROTECTED)
+        assert parallel.records == serial.records
+
+    def test_parallel_unprotected_matches_serial(self, adpcm):
+        serial = CampaignRunner(
+            adpcm, CampaignConfig(runs=4, base_seed=29)
+        ).run_campaign(8, ProtectionMode.UNPROTECTED)
+        parallel = CampaignRunner(
+            adpcm, CampaignConfig(runs=4, base_seed=29, parallel=4)
+        ).run_campaign(8, ProtectionMode.UNPROTECTED)
+        assert parallel.records == serial.records
+        assert parallel.failure_percent == serial.failure_percent
+        assert parallel.fidelity_scores() == serial.fidelity_scores()
+
+    def test_quick_campaign_parallel_flag(self, adpcm):
+        serial = run_quick_campaign(adpcm, errors=3, runs=4, base_seed=5)
+        parallel = run_quick_campaign(adpcm, errors=3, runs=4, base_seed=5,
+                                      parallel=2)
+        assert parallel.records == serial.records
+
 
 class TestReporting:
     def test_format_table_alignment(self):
