@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: BENCH_interp.json vs the committed baseline.
+
+Compares the decoded-engine speedups measured by
+``benchmarks/test_perf_interpreter.py`` against
+``benchmarks/baseline_interp.json`` and fails (exit 1) when any speedup
+falls below ``baseline * (1 - tolerance)``.  The tolerance band is wide by
+default because CI machines are noisy and smoke mode uses a single timing
+repetition — the gate exists to catch the interpreter getting *structurally*
+slower (a 12x speedup quietly decaying to 4x), not 10% jitter.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py [--tolerance 0.5]
+
+Run the interpreter benchmark first so BENCH_interp.json exists at the
+repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_interp.json"
+BASELINE_PATH = Path(__file__).with_name("baseline_interp.json")
+
+
+def check(tolerance: float) -> int:
+    bench = json.loads(BENCH_PATH.read_text())
+    # Smoke-mode runs (shrunken workloads, one timing repetition) measure
+    # systematically different speedups than full runs, so each mode is
+    # gated against its own committed baseline — the tolerance band then
+    # covers machine noise only, not the mode mismatch.
+    mode = "smoke" if bench.get("smoke") else "full"
+    baseline = json.loads(BASELINE_PATH.read_text())[mode]
+
+    failures = []
+    missing = sorted(set(baseline["apps"]) - set(bench["apps"]))
+    if missing:
+        # An app silently vanishing from the benchmark would otherwise
+        # shrink the gate's coverage without anyone noticing.
+        print(f"FAIL: baseline apps missing from BENCH_interp.json: "
+              f"{', '.join(missing)}", file=sys.stderr)
+        return 1
+    rows = [("TOTAL", bench["total"]["speedup"], baseline["total_speedup"])]
+    rows += [
+        (name, bench["apps"][name]["speedup"], expected)
+        for name, expected in sorted(baseline["apps"].items())
+    ]
+    print(f"benchmark regression gate ({mode} baseline, tolerance band: -{tolerance:.0%})")
+    for name, measured, expected in rows:
+        floor = expected * (1.0 - tolerance)
+        status = "ok" if measured >= floor else "REGRESSED"
+        if measured < floor:
+            failures.append(name)
+        print(f"  {name:10s} measured {measured:6.2f}x  baseline {expected:6.2f}x"
+              f"  floor {floor:6.2f}x  {status}")
+
+    if failures:
+        print(f"FAIL: speedup regression in {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("PASS: all speedups within the tolerance band")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="allowed fractional drop below baseline (default 0.5)")
+    args = parser.parse_args()
+    if not BENCH_PATH.exists():
+        print(f"missing {BENCH_PATH}; run benchmarks/test_perf_interpreter.py first",
+              file=sys.stderr)
+        return 2
+    return check(args.tolerance)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -70,17 +70,21 @@ def test_perf_interpreter_writes_benchmark_json(show):
 
     overall_speedup = total_reference / total_decoded
 
-    # Small campaign: serial vs parallel timing + bit-identity check.
+    # Small campaign: serial vs parallel timing + bit-identity check.  Both
+    # use the full-run decoded engine (the fork engine has its own benchmark
+    # in test_perf_campaign.py) and bypass the auto-serial fallback so the
+    # pool-startup overhead this cell measures stays visible.
     adpcm = suite["adpcm"]
     runs, errors, workers = (4, 4, 2) if SMOKE else (12, 4, 4)
     start = time.perf_counter()
     serial = CampaignRunner(
-        adpcm, CampaignConfig(runs=runs, base_seed=17)
+        adpcm, CampaignConfig(runs=runs, base_seed=17, engine="decoded")
     ).run_campaign(errors, ProtectionMode.PROTECTED)
     serial_s = time.perf_counter() - start
     start = time.perf_counter()
     parallel = CampaignRunner(
-        adpcm, CampaignConfig(runs=runs, base_seed=17, parallel=workers)
+        adpcm, CampaignConfig(runs=runs, base_seed=17, parallel=workers,
+                              parallel_threshold=1, engine="decoded")
     ).run_campaign(errors, ProtectionMode.PROTECTED)
     parallel_s = time.perf_counter() - start
     identical = parallel.records == serial.records

@@ -20,6 +20,7 @@ from ..compiler.minic import compile_source
 from ..compiler.passes import ControlTaggingPass, TaggingReport
 from ..isa import Program
 from ..sim import Machine, Outcome, ProtectionMode, RunResult
+from ..sim.fork import CheckpointStore, build_checkpoint_store
 from .fidelity import FidelityMeasure, FidelityResult
 
 #: Watchdog budget multiplier relative to the golden run length: a run that
@@ -37,6 +38,11 @@ class GoldenRun:
     executed: int
     exposed_protected: int
     exposed_unprotected: int
+    #: Lazily built golden checkpoint trace for the fork engine
+    #: (:mod:`repro.sim.fork`).  Deliberately dropped when the golden run is
+    #: pickled into campaign worker processes — the snapshots dwarf the rest
+    #: of the payload and workers rebuild the store locally on first use.
+    checkpoint_store: Optional[CheckpointStore] = None
 
     @property
     def watchdog_budget(self) -> int:
@@ -48,6 +54,11 @@ class GoldenRun:
         if mode is ProtectionMode.UNPROTECTED:
             return self.exposed_unprotected
         return 0
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["checkpoint_store"] = None
+        return state
 
 
 class ErrorTolerantApp(abc.ABC):
@@ -73,6 +84,7 @@ class ErrorTolerantApp(abc.ABC):
         self._program: Optional[Program] = None
         self._tagging: Optional[TaggingReport] = None
         self._goldens: Dict[int, GoldenRun] = {}
+        self._workloads: Dict[int, Dict[str, Any]] = {}
 
     # ------------------------------------------------------------------
     # Hooks implemented by concrete applications.
@@ -126,6 +138,20 @@ class ErrorTolerantApp(abc.ABC):
     # ------------------------------------------------------------------
     # Execution.
     # ------------------------------------------------------------------
+    def workload(self, seed: int = 0) -> Dict[str, Any]:
+        """Memoized workload for ``seed``.
+
+        Workload generation is deterministic and every consumer
+        (:meth:`apply_workload`, :meth:`read_output`, :meth:`score`) treats
+        the dict as read-only, so a campaign's thousands of runs share one
+        generated workload per seed instead of regenerating it per run.
+        """
+        cached = self._workloads.get(seed)
+        if cached is None:
+            cached = self.generate_workload(seed)
+            self._workloads[seed] = cached
+        return cached
+
     def _make_machine(self, workload: Dict[str, Any]) -> Machine:
         machine = Machine(self.program())
         self.apply_workload(machine, workload)
@@ -136,7 +162,7 @@ class ErrorTolerantApp(abc.ABC):
         cached = self._goldens.get(seed)
         if cached is not None:
             return cached
-        workload = self.generate_workload(seed)
+        workload = self.workload(seed)
         machine = self._make_machine(workload)
         result = machine.run()
         if result.outcome != Outcome.COMPLETED:
@@ -154,20 +180,48 @@ class ErrorTolerantApp(abc.ABC):
         self._goldens[seed] = golden
         return golden
 
-    def run_once(self, injection=None, seed: int = 0,
-                 max_instructions: Optional[int] = None) -> RunResult:
-        """Execute one run of the workload for ``seed`` with optional injection."""
+    def checkpoint_store(self, seed: int = 0) -> CheckpointStore:
+        """Golden checkpoint trace for ``seed``, built at most once.
+
+        The capture re-executes the golden run with snapshotting enabled and
+        verifies it against the memoized golden result; the cost (about two
+        golden runs) is amortized over every forked run of a campaign cell.
+        """
         golden = self.golden(seed)
-        workload = self.generate_workload(seed)
-        machine = self._make_machine(workload)
+        if golden.checkpoint_store is None:
+            machine = self._make_machine(self.workload(seed))
+            golden.checkpoint_store = build_checkpoint_store(machine, golden.result)
+        return golden.checkpoint_store
+
+    def run_once(self, injection=None, seed: int = 0,
+                 max_instructions: Optional[int] = None,
+                 engine: str = "decoded") -> RunResult:
+        """Execute one run of the workload for ``seed`` with optional injection.
+
+        ``engine="fork"`` resumes the run from the nearest golden checkpoint
+        at or before the first injection site and splices the golden suffix
+        back in on re-convergence (bit-identical results, O(divergence)
+        cost); it degrades to the decoded engine when there is nothing to
+        inject.  Campaigns select the engine via ``CampaignConfig.engine``.
+        """
+        golden = self.golden(seed)
         budget = max_instructions if max_instructions is not None else golden.watchdog_budget
-        return machine.run(max_instructions=budget, injection=injection)
+        if engine == "fork" and injection is not None and injection.targets:
+            # The fork engine restores memory wholesale from the checkpoint
+            # store, so the machine is built bare: no workload application,
+            # no golden prefix re-execution.
+            machine = Machine(self.program())
+            return machine.run(max_instructions=budget, injection=injection,
+                               engine="fork", checkpoints=self.checkpoint_store(seed))
+        machine = self._make_machine(self.workload(seed))
+        return machine.run(max_instructions=budget, injection=injection,
+                           engine="decoded" if engine == "fork" else engine)
 
     def score_run(self, result: RunResult, seed: int = 0) -> Optional[FidelityResult]:
         """Score a completed run against the golden reference (None if it failed)."""
         if result.outcome != Outcome.COMPLETED:
             return None
         golden = self.golden(seed)
-        workload = self.generate_workload(seed)
+        workload = self.workload(seed)
         observed = self.read_output(result, workload)
         return self.score(golden.reference_output, observed, workload)

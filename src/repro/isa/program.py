@@ -165,6 +165,18 @@ class Program:
         """
         self._decoded_cache = None
 
+    def __getstate__(self):
+        """Pickle without the decode cache.
+
+        Campaign worker processes receive programs inside the warm
+        application payload; the decoded form (operand tuples, exposure
+        vectors, class indices) roughly doubles that payload while being
+        cheap to rebuild, so workers re-decode locally on first use instead.
+        """
+        state = dict(self.__dict__)
+        state.pop("_decoded_cache", None)
+        return state
+
     # ------------------------------------------------------------------
     # Queries.
     # ------------------------------------------------------------------

@@ -9,6 +9,13 @@ from .errors import (
     WatchdogExpired,
 )
 from .decode import DecodedProgram, decode_program
+from .fork import (
+    DEFAULT_CHECKPOINT_COUNT,
+    Checkpoint,
+    CheckpointStore,
+    build_checkpoint_store,
+    run_forked,
+)
 from .faults import (
     InjectionEvent,
     InjectionPlan,
@@ -32,7 +39,10 @@ from .memory import Memory
 
 __all__ = [
     "ArithmeticFault",
+    "Checkpoint",
+    "CheckpointStore",
     "ControlFault",
+    "DEFAULT_CHECKPOINT_COUNT",
     "DEFAULT_MAX_INSTRUCTIONS",
     "DEFAULT_WATCHDOG_FACTOR",
     "DecodedProgram",
@@ -48,11 +58,13 @@ __all__ = [
     "SimFault",
     "SyscallFault",
     "WatchdogExpired",
+    "build_checkpoint_store",
     "decode_program",
     "exposed_static_indices",
     "exposure_flags",
     "instruction_is_exposed",
     "plan_injections",
+    "run_forked",
     "run_program",
     "summarise_counts",
 ]

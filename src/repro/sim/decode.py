@@ -1233,12 +1233,29 @@ class DecodedProgram:
             return self.exposed_unprotected
         return [False] * self.text_len
 
-    def bind_injected(self, machine, plan: InjectionPlan) -> List[Handler]:
-        """Bind handlers with injection wrappers on exposed instructions."""
-        handlers = self.bind(machine)
+    def bind_injected(self, machine, plan: InjectionPlan,
+                      exposed_start: int = 0,
+                      fast: Optional[List[Handler]] = None) -> List[Handler]:
+        """Bind handlers with injection wrappers on exposed instructions.
+
+        ``exposed_start`` seeds the exposed-dynamic counter, which lets the
+        fork engine (:mod:`repro.sim.fork`) resume an injected run from a
+        mid-run checkpoint: the counter continues from the number of exposed
+        dynamic instructions already executed in the golden prefix, so the
+        plan's absolute targets fire at exactly the same dynamic occurrences
+        as in a from-scratch run.
+
+        ``fast`` reuses an already-bound fast handler table for the same
+        machine instead of binding a fresh one (the list is copied, not
+        mutated).  Once every planned injection has fired, the wrappers only
+        advance the exposed counter — state evolution is identical to the
+        fast table — so a caller holding ``fast`` may swap it back in to
+        execute the rest of the run at full speed, as the fork engine does.
+        """
+        handlers = list(fast) if fast is not None else self.bind(machine)
         flags = self.exposure(plan.mode)
         targets = list(plan.targets)
-        state = [0, 0]  # [next-target pointer, exposed-dynamic counter]
+        state = [0, exposed_start]  # [next-target pointer, exposed-dynamic counter]
         specs = self.specs
         ops = self.ops
         opnames = self.opnames

@@ -1,0 +1,415 @@
+"""Checkpoint-and-fork execution engine for injected runs.
+
+A fault-injection campaign re-executes the *same* program on the *same*
+workload hundreds to thousands of times; the runs differ only in where the
+soft errors land.  Everything before a run's first injection site is
+bit-identical to the memoized golden run, and a fully-masked fault makes the
+*suffix* bit-identical too.  This module makes injected runs cost
+O(divergence) instead of O(program length):
+
+* :func:`build_checkpoint_store` re-executes the golden run once per
+  workload seed and snapshots machine state (registers, memory cells
+  touched since the previous snapshot, program counter, execution-count
+  vector, per-mode exposed-dynamic counters) at periodic instruction-count
+  checkpoints.
+* :func:`run_forked` restores the nearest checkpoint at or before the
+  run's first injection target, replays only the short gap with the
+  resumable injected binding (:meth:`DecodedProgram.bind_injected` with
+  ``exposed_start``), and simulates forward from there.
+* **Convergence early-exit**: once every planned injection has fired, the
+  engine compares machine state against the golden trace at each
+  checkpoint-grid boundary (registers and pc directly, memory against an
+  incrementally maintained golden shadow image).  On re-convergence the
+  golden suffix is spliced in — outputs, remaining execution counts, final
+  memory image, exit value — and the run terminates immediately, so
+  fully-masked faults cost little more than the replay gap.
+
+The comparison is *exact*, not probabilistic: a splice happens only when
+registers, pc, per-channel output lengths and the full memory image equal
+the golden state at the same dynamic instruction index, which (execution
+being deterministic) guarantees the spliced :class:`RunResult` is
+bit-identical to what a full run would have produced.  Runs that never
+re-converge — crashes, hangs, persistently corrupted state — simply run to
+their natural end under the exact semantics of the decoded engine,
+including watchdog and fault behaviour.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..isa.registers import RV
+from .decode import DecodedProgram, decode_program
+from .errors import SimFault, WatchdogExpired
+from .faults import InjectionPlan, ProtectionMode
+from .memory import Memory
+
+#: Default number of checkpoints captured over a golden run.  The grid
+#: interval is ``golden_executed // count``: finer grids shorten both the
+#: replay gap and the convergence-detection latency, at the cost of capture
+#: time and snapshot memory.
+DEFAULT_CHECKPOINT_COUNT = 128
+
+
+class _TrackingCells(dict):
+    """Dict subclass that logs written keys, for incremental memory deltas.
+
+    The capture run swaps this in for ``Memory.cells`` *before* binding
+    handlers, so every store — all of which go through plain item
+    assignment — lands in ``touched``.  Reads (``get``) stay on the C fast
+    path.
+    """
+
+    __slots__ = ("touched",)
+
+    def __init__(self, *args) -> None:
+        super().__init__(*args)
+        self.touched = set()
+
+    def __setitem__(self, key, value) -> None:
+        dict.__setitem__(self, key, value)
+        self.touched.add(key)
+
+
+@dataclass
+class Checkpoint:
+    """Machine state at one instruction-count grid point of the golden run.
+
+    ``memory_delta`` holds only the cells written since the previous
+    checkpoint; the full image at this point is the run's base image plus
+    all deltas up to and including this one, applied in order (cells are
+    never deleted during a run).  ``output_lens`` exploits that outputs are
+    append-only: the golden outputs at this point are a prefix of the final
+    golden outputs, so only the per-channel lengths are stored.
+    """
+
+    executed: int
+    pc: int
+    int_regs: List[int]
+    float_regs: List[float]
+    memory_delta: Dict[int, float]
+    output_lens: Dict[int, int]
+    exec_counts: List[int]
+    exposed_protected: int
+    exposed_unprotected: int
+
+    def exposed_count(self, mode: ProtectionMode) -> int:
+        if mode is ProtectionMode.PROTECTED:
+            return self.exposed_protected
+        if mode is ProtectionMode.UNPROTECTED:
+            return self.exposed_unprotected
+        return 0
+
+
+@dataclass
+class CheckpointStore:
+    """Golden-run checkpoint trace plus final artefacts for suffix splicing.
+
+    Built once per (program, workload) by :func:`build_checkpoint_store`;
+    consumed by every injected run of the campaign cell.  Checkpoint ``j``
+    sits at dynamic index ``j * interval`` (checkpoint 0 is the run start),
+    so the fork loop can align its own instruction counter with the golden
+    grid.  The store is deliberately **not** shipped to campaign worker
+    processes (see ``GoldenRun.__getstate__``); workers rebuild it from the
+    decode cache on first use.
+    """
+
+    program: object
+    interval: int
+    checkpoints: List[Checkpoint]
+    base_cells: Dict[int, float]
+    final_cells: Dict[int, float]
+    final_outputs: Dict[int, List[float]]
+    final_exec_counts: List[int]
+    final_executed: int
+    exit_value: Optional[int]
+
+    # Telemetry for benchmarks: how much work forked runs actually did.
+    forked_runs: int = 0
+    spliced_runs: int = 0
+    replayed_instructions: int = 0
+
+    _exposed_grid: Dict[ProtectionMode, List[int]] = field(default_factory=dict)
+
+    def exposed_grid(self, mode: ProtectionMode) -> List[int]:
+        grid = self._exposed_grid.get(mode)
+        if grid is None:
+            grid = [ckpt.exposed_count(mode) for ckpt in self.checkpoints]
+            self._exposed_grid[mode] = grid
+        return grid
+
+    def select(self, first_target: int, mode: ProtectionMode,
+               max_instructions: int) -> int:
+        """Index of the nearest checkpoint at or before the first target.
+
+        A target is an index into the exposed dynamic stream; the chosen
+        checkpoint is the last one whose exposed-dynamic counter has not yet
+        passed it.  The checkpoint must also lie strictly inside the
+        instruction budget so a tiny budget hangs at exactly the same
+        dynamic index as a from-scratch run would.
+        """
+        index = bisect_right(self.exposed_grid(mode), first_target) - 1
+        while index > 0 and self.checkpoints[index].executed >= max_instructions:
+            index -= 1
+        return index
+
+
+def _snapshot(machine, decoded: DecodedProgram, executed: int, pc: int,
+              exec_counts: List[int], delta: Dict[int, float]) -> Checkpoint:
+    classes = decoded.classes
+    count_at = exec_counts.__getitem__
+    return Checkpoint(
+        executed=executed,
+        pc=pc,
+        int_regs=list(machine.int_regs),
+        float_regs=list(machine.float_regs),
+        memory_delta=delta,
+        output_lens={ch: len(values) for ch, values in machine.outputs.items()},
+        exec_counts=list(exec_counts),
+        exposed_protected=sum(map(count_at, classes.exposed_protected)),
+        exposed_unprotected=sum(map(count_at, classes.exposed_unprotected)),
+    )
+
+
+def build_checkpoint_store(machine, expected,
+                           count: int = DEFAULT_CHECKPOINT_COUNT) -> CheckpointStore:
+    """Re-execute the golden run on ``machine``, capturing checkpoints.
+
+    ``machine`` must be freshly constructed with the workload applied but
+    not yet run; ``expected`` is the memoized golden :class:`RunResult` for
+    the same workload, used to size the checkpoint grid and to verify that
+    the capture run reproduced it exactly (a cheap one-time guard against
+    the capture loop ever drifting from the engine it mirrors).
+    """
+    decoded = decode_program(machine.program)
+    text_len = decoded.text_len
+    interval = max(1, expected.executed // max(1, count))
+
+    tracked = _TrackingCells(machine.memory.cells)
+    machine.memory.cells = tracked
+    base_cells = dict(tracked)
+
+    # Handlers must bind *after* the swap so stores hit the tracking dict.
+    handlers = decoded.bind(machine)
+    exec_counts = [0] * text_len
+    pc = decoded.entry_index
+    executed = 0
+    guard = expected.executed  # golden runs complete in exactly this many
+
+    checkpoints = [_snapshot(machine, decoded, 0, pc, exec_counts, {})]
+    next_boundary = interval
+    while pc != text_len:
+        if executed >= next_boundary:
+            if executed > guard:
+                break
+            delta = {address: tracked[address] for address in tracked.touched}
+            tracked.touched.clear()
+            checkpoints.append(
+                _snapshot(machine, decoded, executed, pc, exec_counts, delta)
+            )
+            next_boundary += interval
+        exec_counts[pc] += 1
+        executed += 1
+        pc = handlers[pc]()
+
+    final_cells = dict(tracked)
+    machine.memory.cells = final_cells
+    if (executed != expected.executed
+            or exec_counts != expected.exec_counts
+            or machine.outputs != expected.outputs
+            or final_cells != expected.memory.cells):
+        raise RuntimeError(
+            "checkpoint capture diverged from the memoized golden run; "
+            "refusing to build a fork store from inconsistent state"
+        )
+
+    return CheckpointStore(
+        program=machine.program,
+        interval=interval,
+        checkpoints=checkpoints,
+        base_cells=base_cells,
+        final_cells=final_cells,
+        final_outputs={ch: list(values) for ch, values in machine.outputs.items()},
+        final_exec_counts=exec_counts,
+        final_executed=executed,
+        exit_value=machine.int_regs[RV],
+    )
+
+
+def run_forked(machine, plan: InjectionPlan, store: CheckpointStore,
+               max_instructions: int):
+    """Execute an injected run by forking off the golden checkpoint trace.
+
+    ``machine`` must be freshly constructed for the store's program; its
+    memory, registers and outputs are overwritten wholesale from the store,
+    so the workload does not need to be applied (and any applied state is
+    discarded).  Returns a :class:`RunResult` bit-identical to
+    ``machine.run(engine="decoded")`` on an identically prepared machine.
+    """
+    # Deferred import: machine.py imports this module lazily for the same
+    # reason (RunResult/Outcome live there and fork is an engine of Machine).
+    from .machine import Outcome, RunResult, summarise_counts
+
+    if machine.program is not store.program:
+        raise ValueError("checkpoint store was built for a different program")
+    if not plan.targets:
+        raise ValueError("fork engine requires a non-empty injection plan")
+
+    decoded = decode_program(machine.program)
+    text_len = decoded.text_len
+    checkpoints = store.checkpoints
+    start_index = store.select(plan.targets[0], plan.mode, max_instructions)
+    start = checkpoints[start_index]
+
+    # ------------------------------------------------------------------
+    # Restore: registers / memory / outputs / counters, all in place so the
+    # bound handler closures observe the restored state.
+    # ------------------------------------------------------------------
+    cells = machine.memory.cells
+    cells.clear()
+    cells.update(store.base_cells)
+    for ckpt in checkpoints[1:start_index + 1]:
+        cells.update(ckpt.memory_delta)
+    machine.int_regs[:] = start.int_regs
+    machine.float_regs[:] = start.float_regs
+    outputs = machine.outputs
+    outputs.clear()
+    for channel, length in start.output_lens.items():
+        outputs[channel] = store.final_outputs[channel][:length]
+    exec_counts = list(start.exec_counts)
+
+    fast_handlers = decoded.bind(machine)
+    handlers = decoded.bind_injected(
+        machine, plan, exposed_start=start.exposed_count(plan.mode),
+        fast=fast_handlers,
+    )
+
+    # Golden shadow image: the golden memory at the grid boundary the run
+    # is currently crossing, maintained incrementally from the deltas.
+    shadow = dict(cells)
+    epoch = start_index + 1
+    n_checkpoints = len(checkpoints)
+
+    pc = start.pc
+    executed = start.executed
+    interval = store.interval
+    next_boundary = executed + interval
+    limit = min(next_boundary, max_instructions)
+    ntargets = len(plan.targets)
+    events = plan.events
+    # Count only events fired by *this* run: a caller reusing a plan object
+    # leaves earlier runs' events in the list, and mistaking those for this
+    # run's flips would swap handlers / splice before anything fired.  (The
+    # decoded engine re-fires every target for a reused plan; counting from
+    # the baseline keeps the two engines bit-identical in that case too.)
+    events_fired_before = len(events)
+    int_regs = machine.int_regs
+    float_regs = machine.float_regs
+
+    store.forked_runs += 1
+    fault: Optional[SimFault] = None
+    outcome = Outcome.COMPLETED
+    converged: Optional[Checkpoint] = None
+    # Splicing adopts the golden completion, so it is only legal when the
+    # golden run fits the instruction budget; otherwise a converged run
+    # must still grind forward to hit the watchdog at the same dynamic
+    # index a full run would.
+    can_splice = store.final_executed <= max_instructions
+
+    try:
+        while pc != text_len:
+            if executed >= limit:
+                if executed >= max_instructions:
+                    raise WatchdogExpired(executed, max_instructions)
+                # Crossing a golden grid boundary.  Once every injection has
+                # fired the wrappers only advance the exposed counter, which
+                # nothing observes any more — swap the fast handler table
+                # back in so the suffix executes at full speed.
+                all_fired = len(events) - events_fired_before == ntargets
+                if handlers is not fast_handlers and all_fired:
+                    handlers = fast_handlers
+                # Advance the shadow image and, once every injection has
+                # fired, test re-convergence against the golden state.
+                if epoch < n_checkpoints and checkpoints[epoch].executed == executed:
+                    golden = checkpoints[epoch]
+                    epoch += 1
+                    shadow.update(golden.memory_delta)
+                    if (can_splice
+                            and all_fired
+                            and pc == golden.pc
+                            and int_regs == golden.int_regs
+                            and float_regs == golden.float_regs
+                            and {ch: len(v) for ch, v in outputs.items()}
+                            == golden.output_lens
+                            and cells == shadow):
+                        converged = golden
+                        break
+                next_boundary += interval
+                limit = min(next_boundary, max_instructions)
+            exec_counts[pc] += 1
+            executed += 1
+            pc = handlers[pc]()
+    except SimFault as exc:
+        outcome = Outcome.CRASH
+        fault = exc
+    except WatchdogExpired:
+        outcome = Outcome.HANG
+    except (OverflowError, ValueError) as exc:
+        # Mirrors Machine.run: grossly corrupted floats can overflow a
+        # conversion; the closest hardware analogue is a crash.
+        outcome = Outcome.CRASH
+        fault = SimFault(f"numeric fault: {exc}", pc)
+
+    store.replayed_instructions += executed - start.executed
+
+    if converged is not None:
+        # ------------------------------------------------------------------
+        # Golden-suffix splice.  State equals the golden state at this grid
+        # point, so the rest of the run is deterministic and already known:
+        # append the golden output suffixes, add the golden remaining
+        # execution counts, and adopt the golden final memory image.
+        # ------------------------------------------------------------------
+        store.spliced_runs += 1
+        golden_counts = converged.exec_counts
+        final_counts = store.final_exec_counts
+        exec_counts = [
+            here + total - prefix
+            for here, total, prefix in zip(exec_counts, final_counts, golden_counts)
+        ]
+        for channel, values in store.final_outputs.items():
+            prefix = converged.output_lens.get(channel, 0)
+            if channel in outputs:
+                outputs[channel].extend(values[prefix:])
+            else:
+                outputs[channel] = list(values)
+        cells.clear()
+        cells.update(store.final_cells)
+        return RunResult(
+            outcome=Outcome.COMPLETED,
+            executed=store.final_executed,
+            exit_value=store.exit_value,
+            outputs=outputs,
+            fault=None,
+            fault_kind=None,
+            statistics=summarise_counts(decoded, exec_counts),
+            exec_counts=exec_counts,
+            injection=plan,
+            memory=machine.memory,
+            program=machine.program,
+        )
+
+    return RunResult(
+        outcome=outcome,
+        executed=executed,
+        exit_value=machine.int_regs[RV] if outcome == Outcome.COMPLETED else None,
+        outputs=outputs,
+        fault=str(fault) if fault is not None else None,
+        fault_kind=fault.kind if fault is not None else None,
+        statistics=summarise_counts(decoded, exec_counts),
+        exec_counts=exec_counts,
+        injection=plan,
+        memory=machine.memory,
+        program=machine.program,
+    )

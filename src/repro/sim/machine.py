@@ -193,17 +193,29 @@ class Machine:
         max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
         injection: Optional[InjectionPlan] = None,
         engine: str = "decoded",
+        checkpoints=None,
     ) -> RunResult:
         """Execute the program and return the run's :class:`RunResult`.
 
         ``engine`` selects the execution engine: ``"decoded"`` (default) is
         the pre-decoded threaded-code engine; ``"reference"`` is the seed
-        interpreter kept as a semantic oracle.  Both produce bit-identical
-        results under the same seeds.
+        interpreter kept as a semantic oracle; ``"fork"`` resumes an
+        injected run from the nearest golden checkpoint in ``checkpoints``
+        (a :class:`~repro.sim.fork.CheckpointStore`) and splices the golden
+        suffix back in on re-convergence.  All engines produce bit-identical
+        results under the same seeds.  A fork run with no injection targets
+        degrades to the decoded engine (there is nothing to fork from).
         """
         if engine == "reference":
             from .reference import execute_reference
             return execute_reference(self, max_instructions, injection)
+        if engine == "fork":
+            if injection is not None and injection.targets:
+                if checkpoints is None:
+                    raise ValueError("engine='fork' requires a checkpoint store")
+                from .fork import run_forked
+                return run_forked(self, injection, checkpoints, max_instructions)
+            engine = "decoded"
         if engine != "decoded":
             raise ValueError(f"unknown engine {engine!r}")
 

@@ -1,5 +1,7 @@
 """Tests of the campaign runner, outcome aggregation and the experiment harness."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.apps import create_app
@@ -100,6 +102,18 @@ class TestCampaignRunner:
         assert len(sweep.failure_series()) == 3
         assert sweep.cell(2).errors_requested == 2
 
+    def test_crash_runs_score_as_none(self, adpcm):
+        """Catastrophic runs carry no fidelity: scoring must not attempt to
+        read output buffers from a crashed or hung machine image."""
+        golden = adpcm.golden(0)
+        crashed = replace(golden.result, outcome=Outcome.CRASH, exit_value=None,
+                          fault="numeric fault: synthetic", fault_kind="fault")
+        hung = replace(golden.result, outcome=Outcome.HANG, exit_value=None)
+        assert adpcm.score_run(crashed, seed=0) is None
+        assert adpcm.score_run(hung, seed=0) is None
+        completed = adpcm.score_run(golden.result, seed=0)
+        assert completed is not None and completed.perfect
+
     def test_golden_runs_are_memoized_per_workload_seed(self, adpcm):
         runner = CampaignRunner(adpcm, CampaignConfig(runs=5, base_seed=3))
         runner.run_campaign(2, ProtectionMode.PROTECTED)
@@ -117,7 +131,8 @@ class TestParallelCampaign:
             adpcm, CampaignConfig(runs=6, base_seed=11)
         ).run_campaign(4, ProtectionMode.PROTECTED)
         parallel = CampaignRunner(
-            adpcm, CampaignConfig(runs=6, base_seed=11, parallel=2)
+            adpcm, CampaignConfig(runs=6, base_seed=11, parallel=2,
+                                  parallel_threshold=1)
         ).run_campaign(4, ProtectionMode.PROTECTED)
         assert parallel.records == serial.records
 
@@ -126,7 +141,8 @@ class TestParallelCampaign:
             adpcm, CampaignConfig(runs=4, base_seed=29)
         ).run_campaign(8, ProtectionMode.UNPROTECTED)
         parallel = CampaignRunner(
-            adpcm, CampaignConfig(runs=4, base_seed=29, parallel=4)
+            adpcm, CampaignConfig(runs=4, base_seed=29, parallel=4,
+                                  parallel_threshold=1)
         ).run_campaign(8, ProtectionMode.UNPROTECTED)
         assert parallel.records == serial.records
         assert parallel.failure_percent == serial.failure_percent
@@ -135,7 +151,31 @@ class TestParallelCampaign:
     def test_quick_campaign_parallel_flag(self, adpcm):
         serial = run_quick_campaign(adpcm, errors=3, runs=4, base_seed=5)
         parallel = run_quick_campaign(adpcm, errors=3, runs=4, base_seed=5,
-                                      parallel=2)
+                                      parallel=2, parallel_threshold=1)
+        assert parallel.records == serial.records
+
+    def test_small_cells_fall_back_to_serial(self, adpcm):
+        """Below parallel_threshold runs the pool is not worth spawning."""
+        runner = CampaignRunner(adpcm, CampaignConfig(runs=12, parallel=4))
+        assert not runner._is_parallel
+        runner = CampaignRunner(
+            adpcm, CampaignConfig(runs=24, parallel=4)
+        )
+        assert runner._is_parallel
+        runner = CampaignRunner(
+            adpcm, CampaignConfig(runs=12, parallel=4, parallel_threshold=8)
+        )
+        assert runner._is_parallel
+
+    def test_parallel_fork_engine_matches_serial_decoded(self, adpcm):
+        """Workers rebuild checkpoint stores locally; records stay identical."""
+        serial = CampaignRunner(
+            adpcm, CampaignConfig(runs=4, base_seed=13, engine="decoded")
+        ).run_campaign(4, ProtectionMode.PROTECTED)
+        parallel = CampaignRunner(
+            adpcm, CampaignConfig(runs=4, base_seed=13, parallel=2,
+                                  parallel_threshold=1, engine="fork")
+        ).run_campaign(4, ProtectionMode.PROTECTED)
         assert parallel.records == serial.records
 
 

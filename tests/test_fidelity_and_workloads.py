@@ -61,6 +61,38 @@ class TestPsnrAndSnr:
         expected = 10.0 * math.log10(400.0 / 4.0)
         assert abs(signal_to_noise_db(reference, observed) - expected) < 1e-9
 
+    def test_psnr_of_all_zero_images(self):
+        """Zero-error on an all-zero image is still a perfect reproduction."""
+        zeros = [0, 0, 0, 0]
+        assert psnr(zeros, zeros) == 100.0
+        # Any deviation from an all-zero reference yields a finite PSNR.
+        assert 0.0 < psnr(zeros, [0, 0, 0, 8]) < 100.0
+
+    def test_psnr_of_empty_images_rejected(self):
+        with pytest.raises(ValueError):
+            psnr([], [])
+
+    def test_snr_of_silent_reference_is_degenerate(self):
+        """An all-zero reference has no signal energy: SNR pins to 0 dB,
+        for the identical and the corrupted observation alike."""
+        silence = [0.0, 0.0, 0.0]
+        assert signal_to_noise_db(silence, silence) == 0.0
+        assert signal_to_noise_db(silence, [1.0, 0.0, 0.0]) == 0.0
+        assert snr_loss_db(silence, silence) == 100.0
+
+    def test_snr_is_clamped_for_overwhelming_noise(self):
+        reference = [1e-6, 1e-6]
+        observed = [1e6, -1e6]
+        assert signal_to_noise_db(reference, observed) == -100.0
+
+    def test_snr_of_empty_signals_rejected(self):
+        with pytest.raises(ValueError):
+            signal_to_noise_db([], [])
+
+    def test_snr_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            signal_to_noise_db([1.0, 2.0], [1.0])
+
 
 class TestByteAndFrameMeasures:
     def test_percent_matching(self):
@@ -70,6 +102,22 @@ class TestByteAndFrameMeasures:
 
     def test_percent_within_tolerance(self):
         assert percent_within_tolerance([10, 20], [11, 28], tolerance=2) == 50.0
+
+    def test_percent_matching_length_mismatch(self):
+        """A corrupted run can emit too little or too much output; the
+        missing/extra positions count as mismatches against the longer
+        length, so truncation is penalized rather than ignored."""
+        # Truncated output: 2 of 4 positions match.
+        assert percent_matching([1, 2, 3, 4], [1, 2]) == 50.0
+        # Overlong output: extra positions dilute the score symmetrically.
+        assert percent_matching([1, 2], [1, 2, 9, 9, 9, 9]) == pytest.approx(100.0 / 3.0)
+        # Entirely missing output matches nothing.
+        assert percent_matching([1, 2, 3], []) == 0.0
+        assert percent_matching([], [7]) == 0.0
+
+    def test_percent_within_tolerance_length_mismatch_and_empty(self):
+        assert percent_within_tolerance([10, 20, 30], [10], tolerance=1) == pytest.approx(100.0 / 3.0)
+        assert percent_within_tolerance([], [], tolerance=1) == 100.0
 
     def test_frame_classification_uses_type_budgets(self):
         reference = [[100] * 16, [100] * 16, [100] * 16]

@@ -1,0 +1,198 @@
+"""Differential tests: checkpoint-and-fork engine vs the full decoded engine.
+
+The fork engine (:mod:`repro.sim.fork`) restores a mid-run golden
+checkpoint, replays only the gap to the first injection, and splices the
+golden suffix back in when the run re-converges.  Every one of those
+shortcuts must be invisible in the results: a forked run's
+:class:`RunResult` — outcome, dynamic counts, outputs, memory image,
+statistics, injection events, fault messages — must be **bit-identical** to
+executing the same plan from scratch on the decoded engine, across all
+seven applications, both protection modes, and error counts spanning
+masked, degraded, crashed and hung outcomes.
+"""
+
+import zlib
+
+import pytest
+
+from repro.apps import small_suite
+from repro.core import CampaignConfig, CampaignRunner
+from repro.sim import Machine, ProtectionMode, plan_injections
+
+APP_NAMES = ["susan", "mpeg", "mcf", "blowfish", "gsm", "art", "adpcm"]
+MODES = [ProtectionMode.PROTECTED, ProtectionMode.UNPROTECTED]
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return small_suite()
+
+
+def _assert_identical(full, forked):
+    assert forked.outcome == full.outcome
+    assert forked.executed == full.executed
+    assert forked.exit_value == full.exit_value
+    assert forked.fault == full.fault
+    assert forked.fault_kind == full.fault_kind
+    assert forked.outputs == full.outputs
+    assert forked.exec_counts == full.exec_counts
+    assert forked.statistics == full.statistics
+    assert forked.memory.cells == full.memory.cells
+    assert forked.injection.injected_errors == full.injection.injected_errors
+    assert forked.injection.events == full.injection.events
+
+
+def _run_both(app, errors, mode, seed):
+    golden = app.golden(0)
+    exposed = golden.exposed_count(mode)
+    full_plan = plan_injections(errors, exposed, mode, seed=seed)
+    fork_plan = plan_injections(errors, exposed, mode, seed=seed)
+    assert full_plan.targets == fork_plan.targets
+    full = app.run_once(injection=full_plan, seed=0, engine="decoded")
+    forked = app.run_once(injection=fork_plan, seed=0, engine="fork")
+    return full, forked
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("errors", [1, 4, 16])
+def test_forked_run_is_bit_identical(suite, name, mode, errors):
+    app = suite[name]
+    seed = 1000 + zlib.crc32(f"{name}/{mode.value}/{errors}".encode()) % 10000
+    full, forked = _run_both(app, errors, mode, seed)
+    _assert_identical(full, forked)
+    assert forked.injection.requested_errors == min(
+        errors, app.golden(0).exposed_count(mode))
+
+
+def test_catastrophic_paths_are_identical(suite):
+    """Heavy unprotected injection exercises crash and hang paths.
+
+    Forty unprotected flips over several plan seeds produce a mix of
+    completed, crashed and hung runs across the applications; the fork
+    engine must reproduce each one exactly, including the fault message,
+    the partial memory image, and the watchdog's dynamic stopping point.
+    """
+    outcomes = set()
+    for name in ("mcf", "blowfish", "gsm"):
+        app = suite[name]
+        for seed in (1, 2, 3, 4, 5):
+            full, forked = _run_both(app, 40, ProtectionMode.UNPROTECTED, seed)
+            _assert_identical(full, forked)
+            outcomes.add(full.outcome)
+    assert len(outcomes) > 1, "plans produced only one outcome kind"
+
+
+def test_splice_fires_for_masked_faults(suite):
+    """Fully-masked faults must terminate through the golden-suffix splice."""
+    app = suite["susan"]
+    golden = app.golden(0)
+    store = app.checkpoint_store(0)
+    before = store.spliced_runs
+    spliced_result = None
+    for i in range(30):
+        seed = 99 + 7919 * i
+        plan = plan_injections(1, golden.exposed_count(ProtectionMode.PROTECTED),
+                               ProtectionMode.PROTECTED, seed=seed)
+        result = app.run_once(injection=plan, seed=0, engine="fork")
+        if store.spliced_runs > before:
+            spliced_result = result
+            break
+    assert spliced_result is not None, "no run re-converged in 30 attempts"
+    # A spliced, fully-masked run reproduces the golden artefacts exactly
+    # even though it only simulated a fraction of the program.
+    g = golden.result
+    assert spliced_result.outputs == g.outputs
+    assert spliced_result.executed == g.executed
+    assert spliced_result.exit_value == g.exit_value
+    assert spliced_result.memory.cells == g.memory.cells
+
+
+def test_fork_respects_tiny_instruction_budgets(suite):
+    """A budget below the restore point must hang exactly like a full run."""
+    app = suite["mcf"]
+    golden = app.golden(0)
+    mode = ProtectionMode.PROTECTED
+    budget = golden.executed // 2
+    full_plan = plan_injections(4, golden.exposed_count(mode), mode, seed=77)
+    fork_plan = plan_injections(4, golden.exposed_count(mode), mode, seed=77)
+    full = app.run_once(injection=full_plan, seed=0, max_instructions=budget,
+                        engine="decoded")
+    forked = app.run_once(injection=fork_plan, seed=0, max_instructions=budget,
+                          engine="fork")
+    _assert_identical(full, forked)
+    assert full.outcome == "hang"
+    assert full.executed == budget
+
+
+def test_reused_plan_still_fires_every_injection(suite):
+    """A plan object reused across runs carries the previous run's events;
+    the fork engine must not mistake those for this run's flips (which
+    would swap to fast handlers and splice before anything fired)."""
+    app = suite["adpcm"]
+    golden = app.golden(0)
+    mode = ProtectionMode.UNPROTECTED
+    reused = plan_injections(8, golden.exposed_count(mode), mode, seed=4711)
+    first = app.run_once(injection=reused, seed=0, engine="fork")
+    events_after_first = len(reused.events)
+    assert events_after_first > 0
+    # Second run with the same (now event-laden) plan object: the decoded
+    # engine re-fires every reached target, and the fork engine must match
+    # its execution state exactly (events accumulate in both).
+    forked = app.run_once(injection=reused, seed=0, engine="fork")
+    assert len(reused.events) > events_after_first
+    fresh = plan_injections(8, golden.exposed_count(mode), mode, seed=4711)
+    app.run_once(injection=fresh, seed=0, engine="decoded")   # first use
+    decoded = app.run_once(injection=fresh, seed=0, engine="decoded")  # reuse
+    assert forked.outcome == decoded.outcome
+    assert forked.executed == decoded.executed
+    assert forked.outputs == decoded.outputs
+    assert forked.exec_counts == decoded.exec_counts
+    assert forked.memory.cells == decoded.memory.cells
+
+
+def test_fork_engine_requires_checkpoint_store(suite):
+    app = suite["mcf"]
+    plan = plan_injections(1, app.golden(0).exposed_count(ProtectionMode.PROTECTED),
+                           ProtectionMode.PROTECTED, seed=3)
+    machine = Machine(app.program())
+    with pytest.raises(ValueError, match="checkpoint store"):
+        machine.run(injection=plan, engine="fork")
+
+
+def test_fork_engine_with_empty_plan_degrades_to_decoded(suite):
+    """Nothing to inject means nothing to fork from: run the golden path."""
+    app = suite["mcf"]
+    plan = plan_injections(0, 1, ProtectionMode.NONE, seed=5)
+    result = app.run_once(injection=plan, seed=0, engine="fork")
+    golden = app.golden(0).result
+    assert result.outputs == golden.outputs
+    assert result.exec_counts == golden.exec_counts
+
+
+def test_fork_campaigns_match_decoded_campaigns(suite):
+    """Campaign records are independent of the configured engine."""
+    app = suite["adpcm"]
+    decoded = CampaignRunner(
+        app, CampaignConfig(runs=8, base_seed=21, engine="decoded")
+    ).run_campaign(4, ProtectionMode.PROTECTED)
+    forked = CampaignRunner(
+        app, CampaignConfig(runs=8, base_seed=21, engine="fork")
+    ).run_campaign(4, ProtectionMode.PROTECTED)
+    assert forked.records == decoded.records
+
+
+def test_checkpoint_store_is_not_pickled(suite):
+    """Worker payloads must not carry the snapshots (workers rebuild them)."""
+    import pickle
+
+    app = suite["mcf"]
+    store = app.checkpoint_store(0)
+    assert app.golden(0).checkpoint_store is store
+    revived = pickle.loads(pickle.dumps(app.golden(0)))
+    assert revived.checkpoint_store is None
+    # The program round-trips without its decode cache either.
+    program = app.program()
+    assert getattr(program, "_decoded_cache", None) is not None
+    revived_program = pickle.loads(pickle.dumps(program))
+    assert getattr(revived_program, "_decoded_cache", None) is None
