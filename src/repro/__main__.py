@@ -1,0 +1,259 @@
+"""Command-line front end: ``python -m repro <command>``.
+
+Commands:
+
+* ``sweep``   — run (or resume) the paper's experiment grid into a shard
+  store, on any executor backend;
+* ``status``  — show per-cell progress of a store's grid;
+* ``tables``  — regenerate the paper's tables from a store;
+* ``figures`` — regenerate the paper's figures from a store;
+* ``worker``  — run a TCP campaign worker (alias of
+  ``python -m repro.exec.worker``).
+
+A distributed sweep is two shell lines per host plus one orchestrator::
+
+    host-a$ python -m repro worker --host 0.0.0.0 --port 7006
+    host-b$ python -m repro worker --host 0.0.0.0 --port 7006
+    main$   python -m repro sweep --store runs/ --executor socket \\
+                --workers host-a:7006 host-b:7006
+
+Interrupt the orchestrator at any point and re-run the same command (or
+the same command on a different backend): it resumes exactly where the
+store left off.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import CampaignConfig, ShardStore
+from .core.store import MissingCellError
+from .experiments import (
+    ALL_FIGURES,
+    ExperimentConfig,
+    GRID_MODES,
+    SweepOrchestrator,
+    table1_applications,
+    table2_catastrophic_failures,
+    table3_low_reliability_instructions,
+)
+
+_MODE_NAMES = {mode.value: mode for mode in GRID_MODES}
+
+
+def _experiment_config(args, store: Optional[ShardStore] = None) -> ExperimentConfig:
+    """Experiment parameters from the CLI, defaulting to the store's meta.
+
+    ``tables``/``figures`` must aggregate under the exact parameters the
+    sweep persisted, so the store's ``meta.json`` wins unless the user
+    overrides explicitly.
+    """
+    meta = store.read_meta() if store is not None else None
+    suite = (args.suite if args.suite is not None
+             else (meta or {}).get("suite", "small"))
+    # `is not None`, not truthiness: an explicit `--runs 0` must reach
+    # CampaignConfig validation, not silently fall back to the default.
+    runs = (args.runs if args.runs is not None
+            else (meta or {}).get("runs_per_cell", 8))
+    base_seed = (args.base_seed if args.base_seed is not None
+                 else (meta or {}).get("base_seed", 2006))
+    return ExperimentConfig(suite_name=suite, runs_per_cell=runs,
+                            base_seed=base_seed)
+
+
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", required=True, metavar="DIR",
+                        help="shard-store directory (created if missing)")
+
+
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--suite", choices=["small", "standard"], default=None,
+                        help="workload suite (default: store meta or 'small')")
+    parser.add_argument("--runs", type=int, default=None,
+                        help="runs per cell (default: store meta or 8)")
+    parser.add_argument("--base-seed", type=int, default=None,
+                        help="campaign base seed (default: store meta or 2006)")
+    parser.add_argument("--apps", nargs="*", default=None, metavar="APP",
+                        help="subset of applications (default: all seven)")
+    parser.add_argument("--modes", nargs="*", default=None,
+                        choices=sorted(_MODE_NAMES),
+                        help="protection modes (default: protected unprotected)")
+    parser.add_argument("--errors", nargs="*", type=int, default=None,
+                        metavar="N",
+                        help="explicit error-count axis for every app "
+                             "(default: each app's figure series + Table 2 "
+                             "points)")
+    parser.add_argument("--no-table2-points", action="store_true",
+                        help="sweep only the figure series, not the Table 2 "
+                             "operating points")
+
+
+def _make_orchestrator(args, progress=None) -> SweepOrchestrator:
+    store = ShardStore(args.store)
+    config = _experiment_config(args, store)
+    campaign = CampaignConfig(
+        runs=config.runs_per_cell,
+        base_seed=config.base_seed,
+        parallel=getattr(args, "parallel", 1),
+        engine=getattr(args, "engine", "fork"),
+        executor=getattr(args, "executor", "auto"),
+        workers=tuple(getattr(args, "workers", None) or ()),
+    )
+    modes = (tuple(_MODE_NAMES[name] for name in args.modes)
+             if args.modes else GRID_MODES)
+    return SweepOrchestrator(
+        store, config, campaign=campaign, apps=args.apps, modes=modes,
+        errors_axis=args.errors, include_table2=not args.no_table2_points,
+        chunk_size=getattr(args, "chunk_size", 16), progress=progress,
+    )
+
+
+def _cmd_sweep(args) -> int:
+    orchestrator = _make_orchestrator(
+        args, progress=lambda message: print(message, flush=True))
+    report = orchestrator.run()
+    complete = sum(1 for status in report.statuses if status.complete)
+    print(f"sweep: {report.runs_executed} runs executed, "
+          f"{report.runs_reused} reused from store; "
+          f"{complete}/{report.cells_total} cells complete")
+    return 0 if complete == report.cells_total else 1
+
+
+def _cmd_status(args) -> int:
+    orchestrator = _make_orchestrator(args)
+    statuses = orchestrator.status()
+    done_cells = 0
+    for status in statuses:
+        cell = status.cell
+        marker = "done" if status.complete else "...."
+        done_cells += status.complete
+        print(f"  [{marker}] {cell.app_name:10s} {cell.mode.value:12s} "
+              f"e={cell.errors:<6d} {status.done}/{status.total}")
+    print(f"{done_cells}/{len(statuses)} cells complete")
+    return 0 if done_cells == len(statuses) else 1
+
+
+def _cmd_tables(args) -> int:
+    store = ShardStore(args.store)
+    config = _experiment_config(args, store)
+    selected = args.tables or [1, 2, 3]
+    for number in selected:
+        if number == 1:
+            table = table1_applications(config)
+        elif number == 2:
+            table = table2_catastrophic_failures(config, apps=args.apps,
+                                                 store=store)
+        elif number == 3:
+            table = table3_low_reliability_instructions(config, apps=args.apps)
+        else:
+            print(f"unknown table {number}", file=sys.stderr)
+            return 2
+        print(table.to_text())
+        print()
+    return 0
+
+
+def _print_cli_error(error: Exception) -> int:
+    # The guidance message ("run `python -m repro sweep` first", "refusing
+    # to resume with ...", config validation) is the whole point; a raw
+    # traceback would bury it.
+    print(f"error: {error}", file=sys.stderr)
+    return 1
+
+
+def _cmd_figures(args) -> int:
+    store = ShardStore(args.store)
+    config = _experiment_config(args, store)
+    selected = args.figures or sorted(ALL_FIGURES)
+    for name in selected:
+        builder = ALL_FIGURES.get(name)
+        if builder is None:
+            print(f"unknown figure {name!r}; expected one of "
+                  f"{sorted(ALL_FIGURES)}", file=sys.stderr)
+            return 2
+        figure = builder(config, errors_axis=args.errors, store=store)
+        print(figure.to_table())
+        print()
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from .exec.worker import serve
+
+    serve(args.host, args.port, max_sessions=args.max_sessions)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="paper-sweep orchestrator and experiment artefact CLI",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    sweep = commands.add_parser(
+        "sweep", help="run or resume the paper grid into a shard store")
+    _add_store_argument(sweep)
+    _add_grid_arguments(sweep)
+    sweep.add_argument("--executor", default="auto",
+                       choices=["auto", "serial", "pool", "socket"],
+                       help="executor backend (default auto)")
+    sweep.add_argument("--parallel", type=int, default=1,
+                       help="local process-pool width (default 1)")
+    sweep.add_argument("--workers", nargs="*", default=None, metavar="HOST:PORT",
+                       help="socket-executor worker addresses")
+    sweep.add_argument("--engine", default="fork",
+                       choices=["fork", "decoded", "reference"],
+                       help="simulation engine (default fork)")
+    sweep.add_argument("--chunk-size", type=int, default=16,
+                       help="runs persisted per store append (default 16)")
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    status = commands.add_parser(
+        "status", help="show per-cell progress of a store's grid")
+    _add_store_argument(status)
+    _add_grid_arguments(status)
+    status.set_defaults(handler=_cmd_status)
+
+    tables = commands.add_parser(
+        "tables", help="regenerate the paper's tables from a store")
+    _add_store_argument(tables)
+    _add_grid_arguments(tables)
+    tables.add_argument("--tables", nargs="*", type=int, default=None,
+                        metavar="N", help="table numbers (default: 1 2 3)")
+    tables.set_defaults(handler=_cmd_tables)
+
+    figures = commands.add_parser(
+        "figures", help="regenerate the paper's figures from a store")
+    _add_store_argument(figures)
+    _add_grid_arguments(figures)
+    figures.add_argument("--figures", nargs="*", default=None, metavar="NAME",
+                         help="figure names, e.g. figure1 (default: all)")
+    figures.set_defaults(handler=_cmd_figures)
+
+    worker = commands.add_parser(
+        "worker", help="run a TCP campaign worker "
+                       "(alias of python -m repro.exec.worker)")
+    worker.add_argument("--host", default="127.0.0.1")
+    worker.add_argument("--port", type=int, default=0)
+    worker.add_argument("--max-sessions", type=int, default=None)
+    worker.set_defaults(handler=_cmd_worker)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except (MissingCellError, ValueError) as error:
+        # MissingCellError: a tables/figures cell the sweep has not produced
+        # yet.  ValueError: user-input problems — meta mismatch on resume
+        # (StoreMismatchError), campaign config validation, bad addresses.
+        return _print_cli_error(error)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

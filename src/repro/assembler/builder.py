@@ -21,7 +21,7 @@ Example
 from __future__ import annotations
 
 import contextlib
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 from ..isa import DataObject, FunctionInfo, Instruction, Opcode, Program, Reg
 from ..isa.registers import REG_RA

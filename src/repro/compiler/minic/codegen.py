@@ -26,7 +26,7 @@ from ...assembler import ProgramBuilder
 from ...isa import Program, Reg
 from ...isa.registers import F, R
 from . import ast
-from .semantics import INTRINSICS, AnalysisResult, SemanticError, analyse
+from .semantics import AnalysisResult, analyse
 
 INT_TEMP_INDICES = list(range(8, 16))
 INT_VAR_INDICES = list(range(16, 28))

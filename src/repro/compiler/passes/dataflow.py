@@ -12,9 +12,9 @@ but uses a specialised transfer function (see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Generic, Iterable, List, Set, Tuple, TypeVar
+from typing import Dict, Generic, List, Set, Tuple, TypeVar
 
-from ...isa import Instruction, Reg
+from ...isa import Reg
 from .cfg import BasicBlock, ControlFlowGraph
 
 T = TypeVar("T")

@@ -1,22 +1,32 @@
 """Core experiment machinery: applications, campaigns, outcomes, reporting."""
 
 from .app import WATCHDOG_FACTOR, ErrorTolerantApp, GoldenRun
-from .campaign import CampaignConfig, CampaignRunner, run_quick_campaign
+from .campaign import (
+    ENGINE_NAMES,
+    CampaignConfig,
+    CampaignRunner,
+    run_quick_campaign,
+)
 from .fidelity import FidelityMeasure, FidelityResult
 from .outcomes import CampaignResult, RunRecord, SweepResult
 from .report import FigureData, Series, TableData, format_table
+from .store import MissingCellError, ShardStore, StoreMismatchError
 
 __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "CampaignRunner",
+    "ENGINE_NAMES",
     "ErrorTolerantApp",
     "FidelityMeasure",
     "FidelityResult",
     "FigureData",
     "GoldenRun",
+    "MissingCellError",
     "RunRecord",
     "Series",
+    "ShardStore",
+    "StoreMismatchError",
     "SweepResult",
     "TableData",
     "WATCHDOG_FACTOR",

@@ -180,6 +180,19 @@ class ErrorTolerantApp(abc.ABC):
         self._goldens[seed] = golden
         return golden
 
+    def warm(self, seeds: Sequence[int] = (0,), checkpoints: bool = False) -> None:
+        """Pre-simulate golden runs (and optionally checkpoint stores).
+
+        Campaign executors call this before fanning out so every injection
+        plan of a cell reads the memoized exposed-dynamic counts, and —
+        when ``checkpoints`` is set — so the fork engine never captures a
+        store inside the timed run loop.
+        """
+        for seed in seeds:
+            self.golden(seed)
+            if checkpoints:
+                self.checkpoint_store(seed)
+
     def checkpoint_store(self, seed: int = 0) -> CheckpointStore:
         """Golden checkpoint trace for ``seed``, built at most once.
 

@@ -13,26 +13,29 @@ full program execution, so the runner is built around two optimisations:
   simulated once per runner (:meth:`CampaignRunner.golden_for`) and its
   exposed-dynamic-instruction count is reused by every injection plan in
   the campaign, instead of re-deriving it inside the run loop.
-* **Parallel fan-out** — ``CampaignConfig(parallel=N)`` distributes the
-  runs of a campaign cell over ``N`` worker processes with a
-  :class:`~concurrent.futures.ProcessPoolExecutor`.  Every run's injection
-  plan is derived purely from ``(base_seed, run_index, errors)``, so the
-  records are **bit-identical** to a serial campaign under the same seeds;
-  workers receive the application pre-compiled and pre-warmed (golden runs
-  cached) so they never repeat the setup work.
+* **Pluggable executors** — where a cell's runs execute is delegated to
+  the :mod:`repro.exec` backends: in-process (``executor="serial"``), a
+  local process pool (``parallel=N``), or TCP workers on other hosts
+  (``executor="socket"``, ``workers=("host:port", ...)``).  Every run's
+  injection plan is derived purely from ``(base_seed, run_index,
+  errors)``, so the records are **bit-identical** across backends under
+  the same seeds; remote backends receive the application pre-compiled
+  and pre-warmed (golden runs cached) so they never repeat the setup work.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
 
-from ..sim import Outcome, ProtectionMode, plan_injections
+from ..sim import ProtectionMode
 from .app import ErrorTolerantApp, GoldenRun
 from .outcomes import CampaignResult, RunRecord, SweepResult
 
 ProgressCallback = Callable[[str], None]
+
+#: Engines accepted by ``CampaignConfig.engine`` (see ``Machine.run``).
+ENGINE_NAMES = ("fork", "decoded", "reference")
 
 
 @dataclass
@@ -56,68 +59,60 @@ class CampaignConfig:
     parallel_threshold: int = 24
     #: Execution engine for injected runs: ``"fork"`` (default) resumes each
     #: run from the nearest golden checkpoint and splices the golden suffix
-    #: on re-convergence; ``"decoded"`` executes every run from scratch.
-    #: Records are bit-identical between the two.
+    #: on re-convergence; ``"decoded"`` executes every run from scratch;
+    #: ``"reference"`` is the preserved seed interpreter.  Records are
+    #: bit-identical across engines.
     engine: str = "fork"
+    #: Executor backend (:mod:`repro.exec`): ``"auto"`` resolves to
+    #: ``"socket"`` when ``workers`` is non-empty, ``"pool"`` when
+    #: ``parallel > 1`` engages (see ``parallel_threshold``), and
+    #: ``"serial"`` otherwise.  Naming a backend explicitly bypasses the
+    #: auto fallbacks.
+    executor: str = "auto"
+    #: ``host:port`` addresses of running ``python -m repro.exec.worker``
+    #: processes for the socket executor.
+    workers: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Fail at construction with a clear message instead of deep inside
+        # the run loop (or inside a remote worker) with an obscure one.
+        if self.runs < 1:
+            raise ValueError(f"CampaignConfig.runs must be >= 1, got {self.runs}")
+        if self.parallel < 1:
+            raise ValueError(
+                f"CampaignConfig.parallel must be >= 1, got {self.parallel}"
+            )
+        if self.parallel_threshold < 1:
+            raise ValueError(
+                f"CampaignConfig.parallel_threshold must be >= 1, "
+                f"got {self.parallel_threshold}"
+            )
+        if self.workloads < 1:
+            raise ValueError(
+                f"CampaignConfig.workloads must be >= 1, got {self.workloads}"
+            )
+        if self.engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINE_NAMES}"
+            )
+        self.workers = tuple(self.workers)
+        from ..exec import EXECUTOR_NAMES  # deferred: repro.exec imports repro.core
+
+        if self.executor not in EXECUTOR_NAMES:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; "
+                f"expected one of {EXECUTOR_NAMES}"
+            )
+        if self.executor == "socket" and not self.workers:
+            raise ValueError(
+                "executor='socket' requires at least one 'host:port' in workers"
+            )
 
     def seed_for(self, run_index: int) -> int:
         return self.base_seed + 7919 * run_index
 
     def workload_seed_for(self, run_index: int) -> int:
-        return run_index % max(1, self.workloads)
-
-
-def _make_record(app: ErrorTolerantApp, config: CampaignConfig, run_index: int,
-                 errors: int, mode: ProtectionMode,
-                 golden: Optional[GoldenRun] = None) -> RunRecord:
-    """Execute one campaign run and build its record.
-
-    Shared by the serial loop and the pool workers so both paths derive the
-    injection plan from identical inputs — the basis of the serial/parallel
-    determinism guarantee.
-    """
-    workload_seed = config.workload_seed_for(run_index)
-    if golden is None:
-        golden = app.golden(workload_seed)
-    exposed = golden.exposed_count(mode)
-    injection_seed = config.seed_for(run_index) + 104729 * errors
-    if errors > 0 and mode is not ProtectionMode.NONE:
-        plan = plan_injections(errors, exposed, mode, seed=injection_seed)
-    else:
-        plan = None
-    run = app.run_once(injection=plan, seed=workload_seed, engine=config.engine)
-    fidelity = app.score_run(run, seed=workload_seed)
-    return RunRecord(
-        run_index=run_index,
-        seed=workload_seed,
-        mode=mode,
-        errors_requested=errors,
-        errors_injected=plan.injected_errors if plan is not None else 0,
-        outcome=run.outcome,
-        executed=run.executed,
-        fidelity=fidelity,
-        fault_kind=run.fault_kind,
-    )
-
-
-# ----------------------------------------------------------------------
-# Process-pool plumbing.  The application (pre-compiled, goldens warm) and
-# the config are shipped once per worker via the pool initializer; tasks are
-# tiny (run_index, errors, mode) tuples.
-# ----------------------------------------------------------------------
-_WORKER_APP: Optional[ErrorTolerantApp] = None
-_WORKER_CONFIG: Optional[CampaignConfig] = None
-
-
-def _campaign_worker_init(app: ErrorTolerantApp, config: CampaignConfig) -> None:
-    global _WORKER_APP, _WORKER_CONFIG
-    _WORKER_APP = app
-    _WORKER_CONFIG = config
-
-
-def _campaign_worker_run(task) -> RunRecord:
-    run_index, errors, mode = task
-    return _make_record(_WORKER_APP, _WORKER_CONFIG, run_index, errors, mode)
+        return run_index % self.workloads
 
 
 class CampaignRunner:
@@ -128,7 +123,6 @@ class CampaignRunner:
         self.app = app
         self.config = config or CampaignConfig()
         self._progress = progress
-        self._goldens: Dict[int, GoldenRun] = {}
 
     def _report(self, message: str) -> None:
         if self._progress is not None:
@@ -140,95 +134,77 @@ class CampaignRunner:
     def golden_for(self, workload_seed: int) -> GoldenRun:
         """Golden run for one workload seed, simulated at most once.
 
-        The cached run's exposed-dynamic-instruction counts feed every
-        injection plan of the campaign (``plan_injections`` draws targets
-        uniformly over the exposed stream observed in the golden run).
+        Delegates to the application's per-seed memoization — the cached
+        run's exposed-dynamic-instruction counts feed every injection plan
+        of the campaign (``plan_injections`` draws targets uniformly over
+        the exposed stream observed in the golden run).
         """
-        golden = self._goldens.get(workload_seed)
-        if golden is None:
-            golden = self.app.golden(workload_seed)
-            self._goldens[workload_seed] = golden
-        return golden
+        return self.app.golden(workload_seed)
 
-    def _warm_goldens(self) -> None:
+    def warm_goldens(self) -> None:
         """Simulate the golden run of every distinct workload seed once.
 
         ``workload_seed_for`` cycles ``run_index % workloads``, so the
         distinct seeds are exactly ``range(min(runs, workloads))``.  When
-        the fork engine is selected, the golden checkpoint stores are built
-        here too, so the run loop only ever pays for divergence.  (Workers
-        of a parallel cell rebuild their stores locally on first use — the
-        snapshots are deliberately stripped from the pickled payload.)
+        the fork engine is selected and the cell runs in-process, the
+        golden checkpoint stores are built here too, so the run loop only
+        ever pays for divergence.  (Workers of a pool or socket backend
+        rebuild their stores locally on first use — the snapshots are
+        deliberately stripped from the pickled payload.)
         """
-        for seed in range(min(self.config.runs, max(1, self.config.workloads))):
-            self.golden_for(seed)
-            if self.config.engine == "fork" and not self._is_parallel:
-                self.app.checkpoint_store(seed)
+        build_checkpoints = (self.config.engine == "fork"
+                             and self.executor_name() == "serial")
+        self.app.warm(seeds=range(min(self.config.runs, self.config.workloads)),
+                      checkpoints=build_checkpoints)
 
-    def _make_pool(self) -> ProcessPoolExecutor:
-        """Process pool whose workers receive the app warm (goldens cached)."""
-        return ProcessPoolExecutor(
-            max_workers=min(self.config.parallel, self.config.runs),
-            initializer=_campaign_worker_init,
-            initargs=(self.app, self.config),
-        )
+    # ------------------------------------------------------------------
+    # Executor resolution (see repro.exec).
+    # ------------------------------------------------------------------
+    def executor_name(self) -> str:
+        """Backend this runner's cells execute on."""
+        from ..exec import resolve_executor_name  # deferred: avoids import cycle
 
-    @property
-    def _is_parallel(self) -> bool:
-        """Whether a cell engages the process pool.
+        return resolve_executor_name(self.config)
 
-        Small cells cannot amortize worker spawn + warm-app pickling, so
-        they fall back to the serial path below ``parallel_threshold`` runs
-        (records are bit-identical either way).
-        """
-        config = self.config
-        return (config.parallel > 1
-                and config.runs > 1
-                and config.runs >= config.parallel_threshold)
+    def make_executor(self):
+        """Instantiate (but do not start) the resolved executor backend."""
+        from ..exec import create_executor  # deferred: avoids import cycle
+
+        return create_executor(self.app, self.config, name=self.executor_name())
 
     # ------------------------------------------------------------------
     # Single campaign cell.
     # ------------------------------------------------------------------
-    def run_campaign(self, errors: int, mode: ProtectionMode,
-                     _pool: Optional[ProcessPoolExecutor] = None) -> CampaignResult:
-        """Run ``config.runs`` injected executions with ``errors`` bit flips.
+    def run_records(self, errors: int, mode: ProtectionMode,
+                    run_indices: Optional[Sequence[int]] = None,
+                    _executor=None) -> List[RunRecord]:
+        """Execute (a subset of) a cell's runs and return their records.
 
-        ``_pool`` lets multi-cell drivers (sweeps, comparisons) reuse one
-        warm worker pool across cells instead of re-spawning per cell.
+        ``run_indices`` defaults to the whole cell, ``range(config.runs)``;
+        the sweep orchestrator passes just the indices missing from its
+        shard store when resuming.  ``_executor`` lets multi-cell drivers
+        reuse one warm backend across cells instead of re-starting it.
         """
-        config = self.config
-        result = CampaignResult(app_name=self.app.name, mode=mode, errors_requested=errors)
-        self._warm_goldens()
-        if _pool is not None:
-            result.records.extend(self._run_parallel(errors, mode, _pool))
-        elif self._is_parallel:
-            with self._make_pool() as pool:
-                result.records.extend(self._run_parallel(errors, mode, pool))
-        else:
-            for run_index in range(config.runs):
-                golden = self.golden_for(config.workload_seed_for(run_index))
-                result.records.append(
-                    _make_record(self.app, config, run_index, errors, mode, golden)
-                )
+        if run_indices is None:
+            run_indices = range(self.config.runs)
+        tasks = [(run_index, errors, mode) for run_index in run_indices]
+        self.warm_goldens()
+        if _executor is not None:
+            return _executor.run(tasks)
+        with self.make_executor() as executor:
+            return executor.run(tasks)
+
+    def run_campaign(self, errors: int, mode: ProtectionMode,
+                     _executor=None) -> CampaignResult:
+        """Run ``config.runs`` injected executions with ``errors`` bit flips."""
+        result = CampaignResult(app_name=self.app.name, mode=mode,
+                                errors_requested=errors)
+        result.records.extend(self.run_records(errors, mode, _executor=_executor))
         self._report(
             f"{self.app.name}: {errors} errors, {mode.value}: "
             f"{result.failure_percent:.0f}% failures"
         )
         return result
-
-    def _run_parallel(self, errors: int, mode: ProtectionMode,
-                      pool: ProcessPoolExecutor) -> List[RunRecord]:
-        """Fan the cell's runs out over the process pool.
-
-        The app is shipped warm (program compiled, goldens cached by
-        ``_warm_goldens``), so workers only execute injected runs.  Results
-        come back in run-index order.
-        """
-        config = self.config
-        workers = min(config.parallel, config.runs)
-        tasks = [(run_index, errors, mode) for run_index in range(config.runs)]
-        chunksize = max(1, len(tasks) // (workers * 4))
-        return list(pool.map(_campaign_worker_run, tasks, chunksize=chunksize))
 
     # ------------------------------------------------------------------
     # Error-count sweep (one figure series).
@@ -237,31 +213,23 @@ class CampaignRunner:
                   mode: ProtectionMode = ProtectionMode.PROTECTED) -> SweepResult:
         axis = list(errors_axis if errors_axis is not None else self.app.default_error_sweep)
         sweep = SweepResult(app_name=self.app.name, mode=mode)
-        if self._is_parallel and len(axis) > 1:
-            # One worker pool serves every cell of the sweep: the warm app
-            # is pickled once per worker, not once per error count.
-            self._warm_goldens()
-            with self._make_pool() as pool:
-                for errors in axis:
-                    sweep.cells.append(self.run_campaign(errors, mode, _pool=pool))
-        else:
+        # One executor serves every cell of the sweep: pool/socket backends
+        # ship the warm app once per worker, not once per error count.
+        self.warm_goldens()
+        with self.make_executor() as executor:
             for errors in axis:
-                sweep.cells.append(self.run_campaign(errors, mode))
+                sweep.cells.append(self.run_campaign(errors, mode,
+                                                     _executor=executor))
         return sweep
 
     def run_protection_comparison(self, errors: int) -> dict:
         """Run the same error count with and without control protection."""
-        if self._is_parallel:
-            self._warm_goldens()
-            with self._make_pool() as pool:
-                return {
-                    mode: self.run_campaign(errors, mode, _pool=pool)
-                    for mode in (ProtectionMode.PROTECTED, ProtectionMode.UNPROTECTED)
-                }
-        return {
-            ProtectionMode.PROTECTED: self.run_campaign(errors, ProtectionMode.PROTECTED),
-            ProtectionMode.UNPROTECTED: self.run_campaign(errors, ProtectionMode.UNPROTECTED),
-        }
+        self.warm_goldens()
+        with self.make_executor() as executor:
+            return {
+                mode: self.run_campaign(errors, mode, _executor=executor)
+                for mode in (ProtectionMode.PROTECTED, ProtectionMode.UNPROTECTED)
+            }
 
 
 def run_quick_campaign(app: ErrorTolerantApp, errors: int, runs: int = 5,

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from statistics import fmean
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from ..sim import Outcome, ProtectionMode
 from .fidelity import FidelityResult
@@ -41,6 +41,61 @@ class RunRecord:
     @property
     def completed(self) -> bool:
         return self.outcome == Outcome.COMPLETED
+
+    def to_json(self) -> Dict:
+        """Plain-dict form for the JSONL shard store.
+
+        The encoding round-trips exactly: floats go through ``repr`` (the
+        ``json`` module's encoder), enum modes through their values, so
+        ``from_json(to_json(record)) == record`` bit-for-bit.
+        """
+        fidelity = None
+        if self.fidelity is not None:
+            # Coerce through builtins: application scorers may hand back
+            # numpy scalars (np.bool_, np.float64), which the json encoder
+            # rejects.  float() preserves the exact double, so the
+            # round-trip stays bit-identical.
+            fidelity = {
+                "score": float(self.fidelity.score),
+                "acceptable": bool(self.fidelity.acceptable),
+                "perfect": bool(self.fidelity.perfect),
+                "detail": {str(key): float(value)
+                           for key, value in self.fidelity.detail.items()},
+            }
+        return {
+            "run_index": self.run_index,
+            "seed": self.seed,
+            "mode": self.mode.value,
+            "errors_requested": self.errors_requested,
+            "errors_injected": self.errors_injected,
+            "outcome": self.outcome,
+            "executed": self.executed,
+            "fidelity": fidelity,
+            "fault_kind": self.fault_kind,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "RunRecord":
+        fidelity = None
+        if data["fidelity"] is not None:
+            raw = data["fidelity"]
+            fidelity = FidelityResult(
+                score=raw["score"],
+                acceptable=raw["acceptable"],
+                perfect=raw["perfect"],
+                detail=dict(raw["detail"]),
+            )
+        return cls(
+            run_index=data["run_index"],
+            seed=data["seed"],
+            mode=ProtectionMode(data["mode"]),
+            errors_requested=data["errors_requested"],
+            errors_injected=data["errors_injected"],
+            outcome=data["outcome"],
+            executed=data["executed"],
+            fidelity=fidelity,
+            fault_kind=data["fault_kind"],
+        )
 
 
 @dataclass

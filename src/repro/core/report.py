@@ -9,7 +9,7 @@ useful form for diffing against the paper's reported shapes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 
 def format_cell(value, precision: int = 2) -> str:

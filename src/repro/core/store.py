@@ -1,0 +1,205 @@
+"""On-disk JSONL shard store for campaign run records.
+
+A *shard* holds all records of one campaign cell — one ``(app, mode,
+errors)`` combination — as JSON lines sorted by ``run_index``::
+
+    <root>/meta.json
+    <root>/<app>/<mode>-e<errors>.jsonl
+
+Each line is one :class:`~repro.core.outcomes.RunRecord` in its
+``to_json`` form, serialised deterministically (sorted keys, compact
+separators).  Records are pure functions of ``(base_seed, run_index,
+errors)``, so a store written by any executor backend — serial, process
+pool, TCP workers — and over any number of interrupted-and-resumed
+sessions is **byte-identical** to one written by a single uninterrupted
+serial sweep (asserted in ``tests/test_sweep_store.py``).
+
+Crash safety: appends happen a whole line at a time, and both readers and
+appenders first truncate a partially-written trailing line (the only
+corruption a mid-write kill can cause), so a resumed sweep recomputes
+exactly the runs whose records never made it to disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..sim import ProtectionMode
+from .outcomes import CampaignResult, RunRecord, SweepResult
+
+META_FILENAME = "meta.json"
+
+
+class MissingCellError(KeyError):
+    """A requested cell has no (or not enough) records in the store.
+
+    Carries user guidance ("run `python -m repro sweep` first"); the CLI
+    catches exactly this type so unrelated ``KeyError`` bugs still surface
+    as tracebacks.
+    """
+
+    def __str__(self) -> str:  # KeyError repr-quotes its message
+        return self.args[0]
+
+
+class StoreMismatchError(ValueError):
+    """The store was created under different campaign parameters."""
+
+
+def _encode_line(record: RunRecord) -> str:
+    return json.dumps(record.to_json(), sort_keys=True,
+                      separators=(",", ":")) + "\n"
+
+
+class ShardStore:
+    """Resumable record store keyed by ``(app, mode, errors, run_index)``."""
+
+    def __init__(self, root) -> None:
+        # The directory is created lazily by the write paths so read-only
+        # consumers (status/tables/figures on a mistyped path) never leave
+        # empty directories behind.
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Store metadata: guards against resuming with a mismatched grid.
+    # ------------------------------------------------------------------
+    @property
+    def meta_path(self) -> Path:
+        return self.root / META_FILENAME
+
+    def read_meta(self) -> Optional[Dict]:
+        if not self.meta_path.exists():
+            return None
+        return json.loads(self.meta_path.read_text())
+
+    def ensure_meta(self, meta: Dict) -> None:
+        """Record ``meta`` on first use; refuse to resume under different
+        campaign parameters (records would not be comparable)."""
+        existing = self.read_meta()
+        if existing is None:
+            # Atomic write: a kill mid-write must not leave a truncated
+            # meta.json that poisons every later invocation.
+            self.root.mkdir(parents=True, exist_ok=True)
+            scratch = self.meta_path.with_suffix(".json.tmp")
+            scratch.write_text(json.dumps(meta, sort_keys=True, indent=2) + "\n")
+            os.replace(scratch, self.meta_path)
+        elif existing != meta:
+            raise StoreMismatchError(
+                f"store {self.root} was created with {existing}; "
+                f"refusing to resume with {meta}"
+            )
+
+    # ------------------------------------------------------------------
+    # Shard layout.
+    # ------------------------------------------------------------------
+    def shard_path(self, app_name: str, mode: ProtectionMode, errors: int) -> Path:
+        return self.root / app_name / f"{mode.value}-e{errors}.jsonl"
+
+    def shards(self) -> Iterator[Tuple[str, ProtectionMode, int, Path]]:
+        """Iterate ``(app, mode, errors, path)`` for every existing shard."""
+        if not self.root.exists():
+            return
+        for app_dir in sorted(path for path in self.root.iterdir()
+                              if path.is_dir()):
+            for shard in sorted(app_dir.glob("*-e*.jsonl")):
+                mode_value, _, errors_text = shard.stem.rpartition("-e")
+                yield (app_dir.name, ProtectionMode(mode_value),
+                       int(errors_text), shard)
+
+    @staticmethod
+    def _repair(path: Path) -> None:
+        """Drop a partially-written trailing line left by a mid-write kill."""
+        if not path.exists():
+            return
+        data = path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return
+        keep = data.rfind(b"\n") + 1
+        with path.open("r+b") as handle:
+            handle.truncate(keep)
+
+    # ------------------------------------------------------------------
+    # Reading.
+    # ------------------------------------------------------------------
+    def load_records(self, app_name: str, mode: ProtectionMode,
+                     errors: int) -> List[RunRecord]:
+        """All persisted records of one cell, sorted by run index."""
+        path = self.shard_path(app_name, mode, errors)
+        if not path.exists():
+            return []
+        self._repair(path)
+        records = [RunRecord.from_json(json.loads(line))
+                   for line in path.read_text().splitlines() if line]
+        records.sort(key=lambda record: record.run_index)
+        return records
+
+    def present_indices(self, app_name: str, mode: ProtectionMode,
+                        errors: int) -> Set[int]:
+        return {record.run_index
+                for record in self.load_records(app_name, mode, errors)}
+
+    def missing_indices(self, app_name: str, mode: ProtectionMode,
+                        errors: int, runs: int) -> List[int]:
+        """Run indices of the cell not yet persisted, in ascending order."""
+        present = self.present_indices(app_name, mode, errors)
+        return [index for index in range(runs) if index not in present]
+
+    # ------------------------------------------------------------------
+    # Writing.
+    # ------------------------------------------------------------------
+    def append_records(self, app_name: str, mode: ProtectionMode, errors: int,
+                       records: Sequence[RunRecord]) -> None:
+        """Append ``records`` to the cell's shard (one fsynced write).
+
+        Callers must append records in ascending ``run_index`` order across
+        the lifetime of a shard — the orchestrator's chunks do — so the
+        file stays sorted and byte-comparable against an uninterrupted
+        sweep.
+        """
+        if not records:
+            return
+        path = self.shard_path(app_name, mode, errors)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._repair(path)
+        payload = "".join(_encode_line(record) for record in records)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # ------------------------------------------------------------------
+    # Aggregate views consumed by the tables/figures harness.
+    # ------------------------------------------------------------------
+    def load_campaign(self, app_name: str, mode: ProtectionMode, errors: int,
+                      expect_runs: Optional[int] = None) -> CampaignResult:
+        records = self.load_records(app_name, mode, errors)
+        if not records:
+            raise MissingCellError(
+                f"store {self.root} has no records for "
+                f"({app_name}, {mode.value}, {errors} errors); "
+                f"run `python -m repro sweep` first"
+            )
+        if expect_runs is not None and len(records) < expect_runs:
+            raise MissingCellError(
+                f"cell ({app_name}, {mode.value}, {errors} errors) is "
+                f"incomplete: {len(records)}/{expect_runs} records; "
+                f"resume the sweep with `python -m repro sweep`"
+            )
+        result = CampaignResult(app_name=app_name, mode=mode,
+                                errors_requested=errors)
+        result.records.extend(records)
+        return result
+
+    def load_sweep(self, app_name: str, mode: ProtectionMode,
+                   errors_axis: Sequence[int],
+                   expect_runs: Optional[int] = None) -> SweepResult:
+        sweep = SweepResult(app_name=app_name, mode=mode)
+        for errors in errors_axis:
+            sweep.cells.append(
+                self.load_campaign(app_name, mode, errors,
+                                   expect_runs=expect_runs)
+            )
+        return sweep

@@ -1,0 +1,81 @@
+"""Pluggable campaign executors.
+
+A campaign cell is a batch of ``(run_index, errors, mode)`` tasks whose
+injection plans derive purely from ``(base_seed, run_index, errors)``;
+an executor decides *where* those tasks run:
+
+* :class:`SerialExecutor` — in the calling process (the reference);
+* :class:`PoolExecutor` — a local :class:`~concurrent.futures.ProcessPoolExecutor`;
+* :class:`SocketExecutor` — sharded over TCP to ``python -m repro.exec.worker``
+  processes on this or other hosts.
+
+All backends produce bit-identical record streams; ``create_executor``
+resolves the backend a :class:`~repro.core.campaign.CampaignConfig` asks
+for.
+"""
+
+from __future__ import annotations
+
+from .base import Executor, RunTask, make_record
+from .local import PoolExecutor, SerialExecutor
+from .tcp import SocketExecutor, WorkerTaskError, parse_worker_address
+
+#: Registry of executor backends by config name.
+EXECUTORS = {
+    SerialExecutor.name: SerialExecutor,
+    PoolExecutor.name: PoolExecutor,
+    SocketExecutor.name: SocketExecutor,
+}
+
+#: Names accepted by ``CampaignConfig.executor`` (``"auto"`` resolves from
+#: the rest of the config at run time).
+EXECUTOR_NAMES = ("auto",) + tuple(sorted(EXECUTORS))
+
+
+def resolve_executor_name(config) -> str:
+    """Backend an ``executor="auto"`` config runs on.
+
+    ``socket`` when worker addresses are configured; ``pool`` when
+    ``parallel > 1`` *and* the cell is big enough to amortize worker spawn
+    (``runs >= parallel_threshold``); ``serial`` otherwise.  Explicitly
+    named backends bypass the fallbacks.
+    """
+    if config.executor != "auto":
+        return config.executor
+    if config.workers:
+        return "socket"
+    if (config.parallel > 1 and config.runs > 1
+            and config.runs >= config.parallel_threshold):
+        return "pool"
+    return "serial"
+
+
+def create_executor(app, config, name=None) -> Executor:
+    """Instantiate the executor backend ``name`` (default: resolved from
+    the config, see :func:`resolve_executor_name`)."""
+    resolved = name if name is not None else resolve_executor_name(config)
+    if resolved == "auto":
+        resolved = resolve_executor_name(config)
+    try:
+        backend = EXECUTORS[resolved]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {resolved!r}; expected one of {EXECUTOR_NAMES}"
+        ) from None
+    return backend(app, config)
+
+
+__all__ = [
+    "EXECUTORS",
+    "EXECUTOR_NAMES",
+    "Executor",
+    "PoolExecutor",
+    "RunTask",
+    "SerialExecutor",
+    "SocketExecutor",
+    "WorkerTaskError",
+    "create_executor",
+    "make_record",
+    "parse_worker_address",
+    "resolve_executor_name",
+]

@@ -1,0 +1,98 @@
+"""Executor protocol: how a campaign cell's runs get executed.
+
+A campaign cell is a list of *run tasks* — ``(run_index, errors, mode)``
+tuples — and every injection plan is a pure function of
+``(config.base_seed, run_index, errors)``.  That purity is the whole
+contract: an :class:`Executor` may run the tasks in-process, fan them out
+over a local process pool, or shard them over TCP to workers on other
+hosts, and the resulting :class:`~repro.core.outcomes.RunRecord` stream
+must be **bit-identical** in every case (asserted in
+``tests/test_executors.py``).
+
+Executors are context managers::
+
+    with create_executor(app, config) as executor:
+        records = executor.run([(0, 4, ProtectionMode.PROTECTED), ...])
+
+``run`` always returns records in task order, however the backend
+scheduled them.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.app import ErrorTolerantApp, GoldenRun
+from ..core.outcomes import RunRecord
+from ..sim import ProtectionMode, plan_injections
+
+#: One campaign run: ``(run_index, errors, mode)``.
+RunTask = Tuple[int, int, ProtectionMode]
+
+
+def make_record(app: ErrorTolerantApp, config, run_index: int, errors: int,
+                mode: ProtectionMode, golden: Optional[GoldenRun] = None) -> RunRecord:
+    """Execute one campaign run and build its record.
+
+    Shared by every executor backend (and their remote workers), so all
+    paths derive the injection plan from identical inputs — the basis of
+    the cross-backend determinism guarantee.
+    """
+    workload_seed = config.workload_seed_for(run_index)
+    if golden is None:
+        golden = app.golden(workload_seed)
+    exposed = golden.exposed_count(mode)
+    injection_seed = config.seed_for(run_index) + 104729 * errors
+    if errors > 0 and mode is not ProtectionMode.NONE:
+        plan = plan_injections(errors, exposed, mode, seed=injection_seed)
+    else:
+        plan = None
+    run = app.run_once(injection=plan, seed=workload_seed, engine=config.engine)
+    fidelity = app.score_run(run, seed=workload_seed)
+    return RunRecord(
+        run_index=run_index,
+        seed=workload_seed,
+        mode=mode,
+        errors_requested=errors,
+        errors_injected=plan.injected_errors if plan is not None else 0,
+        outcome=run.outcome,
+        executed=run.executed,
+        fidelity=fidelity,
+        fault_kind=run.fault_kind,
+    )
+
+
+class Executor(abc.ABC):
+    """Pluggable backend that executes campaign run tasks.
+
+    Constructed with the application and the campaign config; ``start``
+    acquires backend resources (worker processes, TCP connections),
+    ``run`` executes one batch of tasks, and ``close`` releases the
+    resources.  One executor instance may serve many ``run`` calls — a
+    sweep reuses a single warm executor across all of its cells.
+    """
+
+    #: Registry name of the backend (``"serial"``, ``"pool"``, ``"socket"``).
+    name: str = "abstract"
+
+    def __init__(self, app: ErrorTolerantApp, config) -> None:
+        self.app = app
+        self.config = config
+
+    def start(self) -> None:
+        """Acquire backend resources.  Idempotent for the serial backend."""
+
+    @abc.abstractmethod
+    def run(self, tasks: Sequence[RunTask]) -> List[RunRecord]:
+        """Execute ``tasks`` and return their records in task order."""
+
+    def close(self) -> None:
+        """Release backend resources."""
+
+    def __enter__(self) -> "Executor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,255 @@
+"""TCP campaign executor: shard run tasks over sockets to remote workers.
+
+The wire protocol is deliberately tiny — length-prefixed pickle frames
+carrying ``(kind, *payload)`` tuples:
+
+* ``("init", app, config)`` — sent once per connection; the worker keeps
+  the (pre-compiled, golden-warm) application for the session.
+* ``("run", tasks)`` — a chunk of ``(run_index, errors, mode)`` tasks;
+  answered with ``("records", [RunRecord, ...])`` in task order, or
+  ``("error", traceback_text)`` if the chunk raised.
+* ``("bye",)`` — ends the session.
+
+Workers are started on each host with ``python -m repro.exec.worker``
+(see :mod:`repro.exec.worker`) and print the address they listen on.
+Because every injection plan is a pure function of
+``(base_seed, run_index, errors)``, the records a :class:`SocketExecutor`
+assembles are bit-identical to a serial campaign under the same seeds.
+
+The executor dispatches chunks from a shared queue with one thread per
+connection, so fast workers take more chunks.  A worker that dies
+mid-campaign has its in-flight chunk re-queued and is dropped from the
+rotation; the cell fails only when no workers remain.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import socket
+import struct
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.outcomes import RunRecord
+from .base import Executor, RunTask
+
+class WorkerTaskError(RuntimeError):
+    """A worker executed a chunk and reported an application-level error.
+
+    Distinct from transport failures: the connection is still healthy and
+    retrying the chunk elsewhere would deterministically fail the same
+    way, so the executor propagates this immediately instead of burning
+    through the worker rotation.
+    """
+
+
+#: Frame header: unsigned 64-bit big-endian payload length.
+_HEADER = struct.Struct(">Q")
+#: Safety cap on a single frame (a warm app pickle is well under this).
+MAX_FRAME_BYTES = 1 << 30
+
+
+def send_message(sock: socket.socket, message: tuple) -> None:
+    """Send one length-prefixed pickle frame."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, size: int) -> Optional[bytes]:
+    chunks = []
+    remaining = size
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> Optional[tuple]:
+    """Receive one frame; ``None`` on orderly EOF before a header."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ConnectionError(f"oversized frame: {length} bytes")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ConnectionError("connection closed mid-frame")
+    return pickle.loads(payload)
+
+
+def parse_worker_address(address: str) -> Tuple[str, int]:
+    """Parse ``"host:port"`` (host defaults to localhost for ``":port"``)."""
+    host, separator, port_text = address.rpartition(":")
+    if not separator or not port_text.isdigit():
+        raise ValueError(
+            f"invalid worker address {address!r}; expected 'host:port'"
+        )
+    return host or "127.0.0.1", int(port_text)
+
+
+class _WorkerConnection:
+    """One TCP session with a remote worker."""
+
+    def __init__(self, address: str, app, config, timeout: float) -> None:
+        self.address = address
+        self.sock = socket.create_connection(parse_worker_address(address),
+                                             timeout=timeout)
+        # Workers serve one session at a time, and a connect can succeed
+        # via the listen backlog of a *busy* worker — so handshake with a
+        # deadline: a worker that never answers the ping is surfaced as a
+        # startup error instead of hanging the first chunk forever.
+        send_message(self.sock, ("init", app, config))
+        send_message(self.sock, ("ping",))
+        reply = recv_message(self.sock)
+        if reply is None or reply[0] != "pong":
+            raise ConnectionError(
+                f"worker {address} did not answer the handshake "
+                f"(got {reply!r})"
+            )
+        # From here on the socket must block: a chunk may legitimately
+        # take minutes to compute (hang-outcome runs burn the whole
+        # watchdog budget).
+        self.sock.settimeout(None)
+
+    def run_chunk(self, tasks: Sequence[RunTask]) -> List[RunRecord]:
+        send_message(self.sock, ("run", list(tasks)))
+        reply = recv_message(self.sock)
+        if reply is None:
+            raise ConnectionError(f"worker {self.address} closed the connection")
+        kind = reply[0]
+        if kind == "records":
+            return reply[1]
+        if kind == "error":
+            raise WorkerTaskError(f"worker {self.address} failed:\n{reply[1]}")
+        raise ConnectionError(f"worker {self.address} sent unexpected {kind!r}")
+
+    def close(self) -> None:
+        try:
+            send_message(self.sock, ("bye",))
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class SocketExecutor(Executor):
+    """Shards campaign cells in chunks over TCP to remote worker processes.
+
+    ``config.workers`` lists the ``host:port`` addresses of running
+    ``python -m repro.exec.worker`` processes.  Each cell's tasks are cut
+    into ``~4 x len(workers)`` contiguous chunks and pulled from a shared
+    queue by one dispatcher thread per worker, so the shard assignment
+    load-balances while the assembled record stream stays in task order.
+    """
+
+    name = "socket"
+
+    #: Chunks queued per worker: small enough to amortize round-trips,
+    #: large enough that a slow worker cannot stall the whole cell.
+    CHUNKS_PER_WORKER = 4
+
+    def __init__(self, app, config, connect_timeout: float = 30.0) -> None:
+        super().__init__(app, config)
+        self.connect_timeout = connect_timeout
+        self._connections: List[_WorkerConnection] = []
+
+    def start(self) -> None:
+        if self._connections:
+            return
+        if not self.config.workers:
+            raise ValueError("SocketExecutor requires CampaignConfig.workers")
+        try:
+            for address in self.config.workers:
+                self._connections.append(
+                    _WorkerConnection(address, self.app, self.config,
+                                      self.connect_timeout)
+                )
+        except Exception:
+            self.close()
+            raise
+
+    def run(self, tasks: Sequence[RunTask]) -> List[RunRecord]:
+        if not self._connections:
+            self.start()
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        chunk_size = max(1, -(-len(tasks) // (len(self._connections)
+                                              * self.CHUNKS_PER_WORKER)))
+        chunks = [tasks[start:start + chunk_size]
+                  for start in range(0, len(tasks), chunk_size)]
+
+        results: Dict[int, List[RunRecord]] = {}
+        failures: List[Tuple[str, Exception]] = []
+        task_errors: List[WorkerTaskError] = []
+        remaining = list(range(len(chunks)))
+        # Dispatch in rounds: a worker whose *transport* dies has its
+        # in-flight chunk retried by the survivors in the next round, so a
+        # cell only fails once every connection is gone.  An application-
+        # level error reported by a healthy worker is deterministic —
+        # retrying it elsewhere would fail identically — so it aborts the
+        # cell immediately with the worker's traceback.
+        while remaining:
+            pending: "queue.Queue[int]" = queue.Queue()
+            for index in remaining:
+                pending.put(index)
+            dead: List[_WorkerConnection] = []
+            lock = threading.Lock()
+
+            def dispatch(connection: _WorkerConnection) -> None:
+                while True:
+                    try:
+                        index = pending.get_nowait()
+                    except queue.Empty:
+                        return
+                    try:
+                        records = connection.run_chunk(chunks[index])
+                    except WorkerTaskError as exc:
+                        with lock:
+                            task_errors.append(exc)
+                        return  # connection is fine; the cell is not
+                    except Exception as exc:  # noqa: BLE001 — retried next round
+                        pending.put(index)
+                        with lock:
+                            failures.append((connection.address, exc))
+                            dead.append(connection)
+                        return
+                    with lock:
+                        results[index] = records
+
+            threads = [threading.Thread(target=dispatch, args=(connection,),
+                                        daemon=True)
+                       for connection in self._connections]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            if task_errors:
+                raise task_errors[0]
+            for connection in dead:
+                connection.close()
+                self._connections.remove(connection)
+            remaining = [index for index in range(len(chunks))
+                         if index not in results]
+            if remaining and not self._connections:
+                detail = "; ".join(f"{address}: {exc}"
+                                   for address, exc in failures)
+                raise RuntimeError(
+                    f"socket campaign lost {len(remaining)} chunk(s) with no "
+                    f"workers left; failures: {detail or 'none reported'}"
+                )
+        return [record for index in range(len(chunks))
+                for record in results[index]]
+
+    def close(self) -> None:
+        for connection in self._connections:
+            connection.close()
+        self._connections = []

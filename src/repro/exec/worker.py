@@ -1,0 +1,104 @@
+"""Campaign worker process: ``python -m repro.exec.worker``.
+
+Listens on a TCP port, accepts sessions from a
+:class:`~repro.exec.tcp.SocketExecutor`, and executes the chunks of
+campaign run tasks it is sent (protocol in :mod:`repro.exec.tcp`).  Start
+one per host (or per core) you want a distributed sweep to use::
+
+    python -m repro.exec.worker --host 0.0.0.0 --port 7006
+
+The worker prints ``repro-exec-worker listening on HOST:PORT`` once the
+socket is bound — with ``--port 0`` the operating system picks a free
+port and the banner is how callers (and the test suite) learn it.
+
+Sessions are handled one at a time: campaign chunks are CPU-bound, so a
+host wanting N-way parallelism runs N worker processes rather than one
+worker with N threads.
+
+.. warning::
+   The wire protocol is unauthenticated pickle: anyone who can reach the
+   port can execute arbitrary code as the worker user.  Bind workers to
+   trusted networks only (the default is loopback); for anything wider,
+   tunnel the port over SSH rather than exposing it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socket
+import sys
+import traceback
+from typing import Optional
+
+from .base import make_record
+from .tcp import recv_message, send_message
+
+
+def _handle_session(connection: socket.socket) -> None:
+    """Serve one executor session on an accepted connection."""
+    app = None
+    config = None
+    while True:
+        message = recv_message(connection)
+        if message is None or message[0] == "bye":
+            return
+        kind = message[0]
+        if kind == "init":
+            _, app, config = message
+        elif kind == "ping":
+            send_message(connection, ("pong",))
+        elif kind == "run":
+            if app is None:
+                send_message(connection, ("error", "run before init"))
+                return
+            try:
+                records = [make_record(app, config, run_index, errors, mode)
+                           for run_index, errors, mode in message[1]]
+            except Exception:  # noqa: BLE001 — report to the executor
+                send_message(connection, ("error", traceback.format_exc()))
+            else:
+                send_message(connection, ("records", records))
+        else:
+            send_message(connection, ("error", f"unknown message {kind!r}"))
+            return
+
+
+def serve(host: str = "127.0.0.1", port: int = 0,
+          max_sessions: Optional[int] = None,
+          banner_stream=None) -> None:
+    """Accept and serve executor sessions until ``max_sessions`` is reached."""
+    stream = banner_stream if banner_stream is not None else sys.stdout
+    with socket.create_server((host, port)) as server:
+        bound_host, bound_port = server.getsockname()[:2]
+        print(f"repro-exec-worker listening on {bound_host}:{bound_port}",
+              file=stream, flush=True)
+        served = 0
+        while max_sessions is None or served < max_sessions:
+            connection, _address = server.accept()
+            with connection:
+                try:
+                    _handle_session(connection)
+                except (ConnectionError, OSError):
+                    pass  # executor vanished; keep serving other sessions
+            served += 1
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.exec.worker",
+        description="TCP worker serving campaign run tasks to SocketExecutor",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="port to bind; 0 lets the OS pick (default)")
+    parser.add_argument("--max-sessions", type=int, default=None,
+                        help="exit after serving this many sessions "
+                             "(default: serve forever)")
+    args = parser.parse_args(argv)
+    serve(args.host, args.port, max_sessions=args.max_sessions)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,15 @@ from .figures import (
     figure5_gsm,
     figure6_art,
 )
+from .sweep import (
+    GRID_MODES,
+    SweepCell,
+    SweepOrchestrator,
+    SweepReport,
+    SweepStatus,
+    grid_errors_axis,
+    paper_grid,
+)
 from .tables import (
     TABLE2_ERROR_COUNTS,
     table1_applications,
@@ -20,6 +29,11 @@ from .tables import (
 __all__ = [
     "ALL_FIGURES",
     "ExperimentConfig",
+    "GRID_MODES",
+    "SweepCell",
+    "SweepOrchestrator",
+    "SweepReport",
+    "SweepStatus",
     "TABLE2_ERROR_COUNTS",
     "default",
     "figure1_susan",
@@ -29,6 +43,8 @@ __all__ = [
     "figure5_gsm",
     "figure6_art",
     "full",
+    "grid_errors_axis",
+    "paper_grid",
     "quick",
     "table1_applications",
     "table2_catastrophic_failures",

@@ -19,14 +19,25 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..core import CampaignRunner, FigureData
+from ..core import CampaignRunner, FigureData, ShardStore
 from ..core.app import ErrorTolerantApp
 from ..sim import ProtectionMode
 from .config import ExperimentConfig, default
 
 
 def _sweep(app: ErrorTolerantApp, config: ExperimentConfig,
-           errors_axis: Sequence[int], mode: ProtectionMode):
+           errors_axis: Sequence[int], mode: ProtectionMode,
+           store: Optional[ShardStore] = None):
+    """One figure series: simulated live, or loaded from a sweep's store.
+
+    With ``store`` the cells come from ``python -m repro sweep`` shards;
+    a cell missing from the store raises ``KeyError`` instead of silently
+    re-simulating, so figures regenerated from a store are exactly the
+    persisted records.
+    """
+    if store is not None:
+        return store.load_sweep(app.name, mode, errors_axis,
+                                expect_runs=config.runs_per_cell)
     runner = CampaignRunner(app, config.campaign_config())
     return runner.run_sweep(errors_axis, mode=mode)
 
@@ -36,13 +47,14 @@ def _resolve(config: Optional[ExperimentConfig]) -> ExperimentConfig:
 
 
 def figure1_susan(config: Optional[ExperimentConfig] = None,
-                  errors_axis: Optional[Sequence[int]] = None) -> FigureData:
+                  errors_axis: Optional[Sequence[int]] = None,
+                  store: Optional[ShardStore] = None) -> FigureData:
     """Susan: PSNR vs. injected errors, static analysis ON vs. OFF."""
     config = _resolve(config)
     app = config.suite()["susan"]
     axis = list(errors_axis if errors_axis is not None else app.default_error_sweep)
-    protected = _sweep(app, config, axis, ProtectionMode.PROTECTED)
-    unprotected = _sweep(app, config, axis, ProtectionMode.UNPROTECTED)
+    protected = _sweep(app, config, axis, ProtectionMode.PROTECTED, store)
+    unprotected = _sweep(app, config, axis, ProtectionMode.UNPROTECTED, store)
     figure = FigureData(
         title="Figure 1: Susan — PSNR of pictures with errors",
         x_label="errors inserted",
@@ -57,12 +69,13 @@ def figure1_susan(config: Optional[ExperimentConfig] = None,
 
 
 def figure2_mpeg(config: Optional[ExperimentConfig] = None,
-                 errors_axis: Optional[Sequence[int]] = None) -> FigureData:
+                 errors_axis: Optional[Sequence[int]] = None,
+                 store: Optional[ShardStore] = None) -> FigureData:
     """MPEG: % bad frames and % failed executions (protection ON)."""
     config = _resolve(config)
     app = config.suite()["mpeg"]
     axis = list(errors_axis if errors_axis is not None else app.default_error_sweep)
-    protected = _sweep(app, config, axis, ProtectionMode.PROTECTED)
+    protected = _sweep(app, config, axis, ProtectionMode.PROTECTED, store)
     figure = FigureData(
         title="Figure 2: MPEG — bad frames vs. errors (static analysis ON)",
         x_label="errors inserted",
@@ -75,12 +88,13 @@ def figure2_mpeg(config: Optional[ExperimentConfig] = None,
 
 
 def figure3_mcf(config: Optional[ExperimentConfig] = None,
-                errors_axis: Optional[Sequence[int]] = None) -> FigureData:
+                errors_axis: Optional[Sequence[int]] = None,
+                store: Optional[ShardStore] = None) -> FigureData:
     """MCF: % optimal schedules found and % failed runs."""
     config = _resolve(config)
     app = config.suite()["mcf"]
     axis = list(errors_axis if errors_axis is not None else app.default_error_sweep)
-    protected = _sweep(app, config, axis, ProtectionMode.PROTECTED)
+    protected = _sweep(app, config, axis, ProtectionMode.PROTECTED, store)
     optimal_series = [
         100.0 * cell.detail_mean("optimal") if cell.detail_mean("optimal") is not None else None
         for cell in protected.cells
@@ -96,12 +110,13 @@ def figure3_mcf(config: Optional[ExperimentConfig] = None,
 
 
 def figure4_blowfish(config: Optional[ExperimentConfig] = None,
-                     errors_axis: Optional[Sequence[int]] = None) -> FigureData:
+                     errors_axis: Optional[Sequence[int]] = None,
+                     store: Optional[ShardStore] = None) -> FigureData:
     """Blowfish: % bytes correct and % failed executions."""
     config = _resolve(config)
     app = config.suite()["blowfish"]
     axis = list(errors_axis if errors_axis is not None else app.default_error_sweep)
-    protected = _sweep(app, config, axis, ProtectionMode.PROTECTED)
+    protected = _sweep(app, config, axis, ProtectionMode.PROTECTED, store)
     figure = FigureData(
         title="Figure 4: Blowfish — bytes correct vs. errors (static analysis ON)",
         x_label="errors inserted",
@@ -113,12 +128,13 @@ def figure4_blowfish(config: Optional[ExperimentConfig] = None,
 
 
 def figure5_gsm(config: Optional[ExperimentConfig] = None,
-                errors_axis: Optional[Sequence[int]] = None) -> FigureData:
+                errors_axis: Optional[Sequence[int]] = None,
+                store: Optional[ShardStore] = None) -> FigureData:
     """GSM: SNR relative to the error-free decode and % failed executions."""
     config = _resolve(config)
     app = config.suite()["gsm"]
     axis = list(errors_axis if errors_axis is not None else app.default_error_sweep)
-    protected = _sweep(app, config, axis, ProtectionMode.PROTECTED)
+    protected = _sweep(app, config, axis, ProtectionMode.PROTECTED, store)
     snr_percent = [cell.detail_mean("snr_percent_of_optimal") for cell in protected.cells]
     snr_loss = [cell.detail_mean("snr_loss_db") for cell in protected.cells]
     figure = FigureData(
@@ -133,12 +149,13 @@ def figure5_gsm(config: Optional[ExperimentConfig] = None,
 
 
 def figure6_art(config: Optional[ExperimentConfig] = None,
-                errors_axis: Optional[Sequence[int]] = None) -> FigureData:
+                errors_axis: Optional[Sequence[int]] = None,
+                store: Optional[ShardStore] = None) -> FigureData:
     """ART: % images recognised and % failed executions."""
     config = _resolve(config)
     app = config.suite()["art"]
     axis = list(errors_axis if errors_axis is not None else app.default_error_sweep)
-    protected = _sweep(app, config, axis, ProtectionMode.PROTECTED)
+    protected = _sweep(app, config, axis, ProtectionMode.PROTECTED, store)
     recognised = [
         100.0 * cell.detail_mean("recognized") if cell.detail_mean("recognized") is not None else None
         for cell in protected.cells

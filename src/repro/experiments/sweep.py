@@ -1,0 +1,227 @@
+"""Resumable paper-sweep orchestrator.
+
+Drives the full experiment grid behind the paper's tables and figures —
+every application x both protection modes x that application's
+error-count series (plus the Table 2 operating points) — and persists
+every :class:`~repro.core.outcomes.RunRecord` to a
+:class:`~repro.core.store.ShardStore` keyed by ``(app, mode, errors,
+run_index)``.
+
+Resumability is the point: the orchestrator plans each cell as the set of
+run indices *missing* from the store, executes them in chunks through
+whatever executor backend the campaign config selects (in-process, local
+process pool, or TCP workers on other hosts), and appends each chunk to
+disk as it completes.  Kill it anywhere — even mid-cell, even mid-write —
+and a later invocation (with any backend) recomputes only the runs whose
+records never landed, producing a store byte-identical to an
+uninterrupted serial sweep.
+
+``python -m repro sweep`` is the CLI front end; ``experiments.tables``
+and ``experiments.figures`` regenerate the paper artefacts from the
+resulting store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..apps import APP_ORDER
+from ..core import CampaignConfig, CampaignRunner, ShardStore
+from ..core.app import ErrorTolerantApp
+from ..sim import ProtectionMode
+from .config import ExperimentConfig
+from .tables import TABLE2_ERROR_COUNTS
+
+#: Protection modes the paper grid covers.
+GRID_MODES: Tuple[ProtectionMode, ...] = (ProtectionMode.PROTECTED,
+                                          ProtectionMode.UNPROTECTED)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (application, protection mode, error count) grid cell."""
+
+    app_name: str
+    mode: ProtectionMode
+    errors: int
+
+
+@dataclass
+class SweepStatus:
+    """Progress of one cell: how many of its runs are persisted."""
+
+    cell: SweepCell
+    done: int
+    total: int
+
+    @property
+    def complete(self) -> bool:
+        return self.done >= self.total
+
+
+@dataclass
+class SweepReport:
+    """Summary of one orchestrator invocation."""
+
+    cells_total: int = 0
+    cells_skipped: int = 0
+    runs_executed: int = 0
+    runs_reused: int = 0
+    statuses: List[SweepStatus] = field(default_factory=list)
+
+
+def grid_errors_axis(app: ErrorTolerantApp,
+                     include_table2: bool = True) -> List[int]:
+    """Error counts the grid sweeps for ``app``.
+
+    The union of the application's figure series and its Table 2 operating
+    points, so one sweep feeds every artefact.
+    """
+    axis = set(app.default_error_sweep)
+    if include_table2:
+        axis.update(TABLE2_ERROR_COUNTS.get(app.name, ()))
+    return sorted(axis)
+
+
+def paper_grid(config: ExperimentConfig,
+               apps: Optional[Sequence[str]] = None,
+               modes: Sequence[ProtectionMode] = GRID_MODES,
+               errors_axis: Optional[Sequence[int]] = None,
+               include_table2: bool = True) -> List[SweepCell]:
+    """The grid cells a sweep covers, in deterministic paper order."""
+    suite = config.suite()
+    names = list(apps) if apps is not None else list(APP_ORDER)
+    cells = []
+    for name in names:
+        if name not in suite:
+            raise KeyError(f"unknown application {name!r}; "
+                           f"suite has {sorted(suite)}")
+        axis = (list(errors_axis) if errors_axis is not None
+                else grid_errors_axis(suite[name], include_table2))
+        for mode in modes:
+            for errors in axis:
+                cells.append(SweepCell(name, mode, errors))
+    return cells
+
+
+class SweepOrchestrator:
+    """Runs the paper grid against a shard store, resuming where it stopped."""
+
+    def __init__(self, store: ShardStore, config: ExperimentConfig,
+                 campaign: Optional[CampaignConfig] = None,
+                 apps: Optional[Sequence[str]] = None,
+                 modes: Sequence[ProtectionMode] = GRID_MODES,
+                 errors_axis: Optional[Sequence[int]] = None,
+                 include_table2: bool = True,
+                 chunk_size: int = 16,
+                 progress: Optional[Callable[[str], None]] = None) -> None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.store = store
+        self.config = config
+        self.campaign_config = campaign or config.campaign_config()
+        self.apps = apps
+        self.modes = tuple(modes)
+        self.errors_axis = errors_axis
+        self.include_table2 = include_table2
+        self.chunk_size = chunk_size
+        self._progress = progress
+
+    def _pin_meta(self) -> None:
+        """Record the campaign parameters on first *write* to the store.
+
+        Called from :meth:`run`, not the constructor, so read-only users
+        (``python -m repro status`` on a fresh directory) never stamp a
+        store with defaults that would block the real sweep later.  The
+        executor backend must not influence the stored bytes, so the meta
+        records only what the records themselves depend on.
+        """
+        self.store.ensure_meta({
+            "schema": "sweep-store-v1",
+            "suite": self.config.suite_name,
+            "runs_per_cell": self.campaign_config.runs,
+            "base_seed": self.campaign_config.base_seed,
+            "workloads": self.campaign_config.workloads,
+        })
+
+    def _report(self, message: str) -> None:
+        if self._progress is not None:
+            self._progress(message)
+
+    def plan(self) -> List[SweepCell]:
+        return paper_grid(self.config, apps=self.apps, modes=self.modes,
+                          errors_axis=self.errors_axis,
+                          include_table2=self.include_table2)
+
+    def status(self) -> List[SweepStatus]:
+        """Per-cell persisted/total counts for the planned grid."""
+        runs = self.campaign_config.runs
+        return [
+            SweepStatus(
+                cell=cell,
+                done=runs - len(self.store.missing_indices(
+                    cell.app_name, cell.mode, cell.errors, runs)),
+                total=runs,
+            )
+            for cell in self.plan()
+        ]
+
+    def run(self) -> SweepReport:
+        """Execute every missing run of the grid, chunk by chunk.
+
+        Cells are grouped by application so one warm executor (and one
+        memoized golden run) serves all of an app's cells; each completed
+        chunk is appended to the store before the next starts, bounding
+        the work an interruption can lose to ``chunk_size`` runs.
+        """
+        self._pin_meta()
+        report = SweepReport()
+        cells = self.plan()
+        report.cells_total = len(cells)
+        by_app: Dict[str, List[SweepCell]] = {}
+        for cell in cells:
+            by_app.setdefault(cell.app_name, []).append(cell)
+
+        suite = self.config.suite()
+        runs = self.campaign_config.runs
+        for app_name, app_cells in by_app.items():
+            pending: List[Tuple[SweepCell, List[int]]] = []
+            for cell in app_cells:
+                missing = self.store.missing_indices(cell.app_name, cell.mode,
+                                                     cell.errors, runs)
+                report.runs_reused += runs - len(missing)
+                if missing:
+                    pending.append((cell, missing))
+                else:
+                    report.cells_skipped += 1
+            if not pending:
+                continue
+            runner = CampaignRunner(suite[app_name], self.campaign_config)
+            # Warm the goldens *before* the executor starts: pool and socket
+            # backends pickle the application at start-up, and a warm app
+            # ships its exposed-dynamic counts so workers never re-run the
+            # golden executions.
+            runner.warm_goldens()
+            with runner.make_executor() as executor:
+                for cell, missing in pending:
+                    done = runs - len(missing)
+                    for chunk in _chunks(missing, self.chunk_size):
+                        records = runner.run_records(cell.errors, cell.mode,
+                                                     run_indices=chunk,
+                                                     _executor=executor)
+                        self.store.append_records(cell.app_name, cell.mode,
+                                                  cell.errors, records)
+                        report.runs_executed += len(records)
+                        done += len(records)
+                        self._report(
+                            f"{cell.app_name} {cell.mode.value} "
+                            f"e={cell.errors}: {done}/{runs}"
+                        )
+        report.statuses = self.status()
+        return report
+
+
+def _chunks(items: Sequence[int], size: int) -> Iterable[List[int]]:
+    for start in range(0, len(items), size):
+        yield list(items[start:start + size])

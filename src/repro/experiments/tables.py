@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..apps import APP_ORDER, TABLE1_FIDELITY
-from ..core import CampaignRunner, TableData
+from ..core import CampaignRunner, ShardStore, TableData
 from ..sim import ProtectionMode
 from .config import ExperimentConfig, default
 
@@ -56,27 +56,42 @@ def table2_catastrophic_failures(
     config: Optional[ExperimentConfig] = None,
     apps: Optional[Sequence[str]] = None,
     error_counts: Optional[Dict[str, Tuple[int, ...]]] = None,
+    store: Optional[ShardStore] = None,
 ) -> TableData:
-    """Table 2: % catastrophic failures with and without control protection."""
+    """Table 2: % catastrophic failures with and without control protection.
+
+    With ``store`` the cells are loaded from a sweep's shard store (see
+    ``python -m repro sweep``) instead of being re-simulated; a missing
+    cell raises ``KeyError`` naming the sweep command that produces it.
+    """
     config = config or default()
     suite = config.suite()
     error_counts = error_counts or TABLE2_ERROR_COUNTS
     names = list(apps) if apps is not None else list(APP_ORDER)
 
+    source = "shard store" if store is not None else "live simulation"
     table = TableData(
         title="Table 2: catastrophic failures (crashes or infinite runs)",
         headers=["Application", "Errors introduced", "Total instructions",
                  "% failures with protection", "% failures without protection"],
         notes=[f"{config.runs_per_cell} injected runs per cell, "
-               f"suite={config.suite_name!r}"],
+               f"suite={config.suite_name!r}, source={source}"],
     )
     for name in names:
         app = suite[name]
         runner = CampaignRunner(app, config.campaign_config())
         golden = app.golden(0)
         for errors in error_counts.get(name, (8,)):
-            protected = runner.run_campaign(errors, ProtectionMode.PROTECTED)
-            unprotected = runner.run_campaign(errors, ProtectionMode.UNPROTECTED)
+            if store is not None:
+                protected = store.load_campaign(
+                    name, ProtectionMode.PROTECTED, errors,
+                    expect_runs=config.runs_per_cell)
+                unprotected = store.load_campaign(
+                    name, ProtectionMode.UNPROTECTED, errors,
+                    expect_runs=config.runs_per_cell)
+            else:
+                protected = runner.run_campaign(errors, ProtectionMode.PROTECTED)
+                unprotected = runner.run_campaign(errors, ProtectionMode.UNPROTECTED)
             table.add_row([
                 name,
                 errors,

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..isa import Opcode, Program
 from ..isa.encoding import FLOAT_BITS, INT_BITS, flip_float_bit, flip_int_bit, wrap_int
@@ -49,7 +49,6 @@ from .faults import (
     InjectionPlan,
     ProtectionMode,
     exposure_flags,
-    instruction_is_exposed,
 )
 
 #: Handler: executes one instruction against bound machine state and returns

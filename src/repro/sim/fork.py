@@ -44,7 +44,6 @@ from ..isa.registers import RV
 from .decode import DecodedProgram, decode_program
 from .errors import SimFault, WatchdogExpired
 from .faults import InjectionPlan, ProtectionMode
-from .memory import Memory
 
 #: Default number of checkpoints captured over a golden run.  The grid
 #: interval is ``golden_executed // count``: finer grids shorten both the

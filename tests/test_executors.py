@@ -1,0 +1,191 @@
+"""Tests of the pluggable executor subsystem (:mod:`repro.exec`).
+
+The contract under test: every backend — in-process serial, local process
+pool, TCP socket workers — produces a RunRecord stream bit-identical to
+the serial reference under the same seeds, because injection plans derive
+purely from ``(base_seed, run_index, errors)``.
+"""
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.apps import create_app
+from repro.core import CampaignConfig, CampaignRunner
+from repro.exec import (
+    EXECUTOR_NAMES,
+    PoolExecutor,
+    SerialExecutor,
+    SocketExecutor,
+    create_executor,
+    parse_worker_address,
+)
+from repro.sim import ProtectionMode
+
+SRC_DIR = Path(__file__).resolve().parents[1] / "src"
+
+
+@pytest.fixture(scope="module")
+def adpcm():
+    return create_app("adpcm", samples=300)
+
+
+@pytest.fixture(scope="module")
+def serial_records(adpcm):
+    """Reference records: one cell on the serial executor."""
+    runner = CampaignRunner(adpcm, CampaignConfig(runs=5, base_seed=11))
+    return runner.run_campaign(4, ProtectionMode.PROTECTED).records
+
+
+def _spawn_worker(tmp_env=None):
+    """Start ``python -m repro.exec.worker`` and return (process, address)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.exec.worker", "--port", "0"],
+        stdout=subprocess.PIPE, text=True, env=env,
+    )
+    banner = process.stdout.readline().strip()
+    match = re.search(r"listening on (\S+:\d+)$", banner)
+    assert match, f"unexpected worker banner: {banner!r}"
+    return process, match.group(1)
+
+
+@pytest.fixture(scope="module")
+def worker_addresses():
+    workers = [_spawn_worker() for _ in range(2)]
+    yield [address for _, address in workers]
+    for process, _ in workers:
+        process.terminate()
+        process.wait(timeout=10)
+
+
+class TestExecutorResolution:
+    def test_registry_names(self):
+        assert set(EXECUTOR_NAMES) == {"auto", "serial", "pool", "socket"}
+
+    def test_auto_resolves_serial_below_threshold(self, adpcm):
+        runner = CampaignRunner(adpcm, CampaignConfig(runs=12, parallel=4))
+        assert runner.executor_name() == "serial"
+        assert isinstance(runner.make_executor(), SerialExecutor)
+
+    def test_auto_resolves_pool_at_threshold(self, adpcm):
+        runner = CampaignRunner(adpcm, CampaignConfig(runs=24, parallel=4))
+        assert runner.executor_name() == "pool"
+        assert isinstance(runner.make_executor(), PoolExecutor)
+
+    def test_auto_resolves_socket_with_workers(self, adpcm):
+        runner = CampaignRunner(
+            adpcm, CampaignConfig(runs=4, workers=("127.0.0.1:1",))
+        )
+        assert runner.executor_name() == "socket"
+        assert isinstance(runner.make_executor(), SocketExecutor)
+
+    def test_explicit_executor_beats_auto_fallback(self, adpcm):
+        """Naming a backend bypasses the small-cell serial fallback."""
+        runner = CampaignRunner(
+            adpcm, CampaignConfig(runs=4, parallel=2, executor="pool")
+        )
+        assert runner.executor_name() == "pool"
+
+    def test_unknown_executor_name_rejected(self, adpcm):
+        config = CampaignConfig(runs=2)
+        with pytest.raises(ValueError, match="unknown executor"):
+            create_executor(adpcm, config, name="carrier-pigeon")
+
+    def test_parse_worker_address(self):
+        assert parse_worker_address("host:7006") == ("host", 7006)
+        assert parse_worker_address(":7006") == ("127.0.0.1", 7006)
+        with pytest.raises(ValueError, match="invalid worker address"):
+            parse_worker_address("no-port")
+
+
+class TestConfigValidation:
+    """CampaignConfig fails fast instead of deep inside the run loop."""
+
+    @pytest.mark.parametrize("kwargs, match", [
+        ({"runs": 0}, "runs must be >= 1"),
+        ({"runs": -3}, "runs must be >= 1"),
+        ({"parallel": 0}, "parallel must be >= 1"),
+        ({"parallel_threshold": 0}, "parallel_threshold must be >= 1"),
+        ({"workloads": 0}, "workloads must be >= 1"),
+        ({"engine": "quantum"}, "unknown engine 'quantum'"),
+        ({"executor": "quantum"}, "unknown executor 'quantum'"),
+        ({"executor": "socket"}, "requires at least one"),
+    ])
+    def test_invalid_configs_raise(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            CampaignConfig(**kwargs)
+
+    def test_valid_engines_and_executors_accepted(self):
+        for engine in ("fork", "decoded", "reference"):
+            CampaignConfig(engine=engine)
+        for executor in ("auto", "serial", "pool"):
+            CampaignConfig(executor=executor)
+        CampaignConfig(executor="socket", workers=["h:1"])
+
+    def test_workers_normalised_to_tuple(self):
+        config = CampaignConfig(workers=["a:1", "b:2"])
+        assert config.workers == ("a:1", "b:2")
+
+
+class TestSerialExecutor:
+    def test_matches_run_campaign(self, adpcm, serial_records):
+        config = CampaignConfig(runs=5, base_seed=11)
+        with SerialExecutor(adpcm, config) as executor:
+            records = executor.run(
+                [(index, 4, ProtectionMode.PROTECTED) for index in range(5)]
+            )
+        assert records == serial_records
+
+    def test_subset_of_indices(self, adpcm, serial_records):
+        """Partial cells (the resume path) reproduce exactly those records."""
+        config = CampaignConfig(runs=5, base_seed=11)
+        with SerialExecutor(adpcm, config) as executor:
+            records = executor.run(
+                [(index, 4, ProtectionMode.PROTECTED) for index in (1, 3)]
+            )
+        assert records == [serial_records[1], serial_records[3]]
+
+
+class TestPoolExecutor:
+    def test_explicit_pool_matches_serial(self, adpcm, serial_records):
+        config = CampaignConfig(runs=5, base_seed=11, parallel=2,
+                                executor="pool")
+        runner = CampaignRunner(adpcm, config)
+        cell = runner.run_campaign(4, ProtectionMode.PROTECTED)
+        assert cell.records == serial_records
+
+
+class TestSocketExecutor:
+    def test_socket_matches_serial(self, adpcm, serial_records,
+                                   worker_addresses):
+        config = CampaignConfig(runs=5, base_seed=11, executor="socket",
+                                workers=tuple(worker_addresses))
+        runner = CampaignRunner(adpcm, config)
+        cell = runner.run_campaign(4, ProtectionMode.PROTECTED)
+        assert cell.records == serial_records
+
+    def test_socket_serves_multiple_cells_per_session(self, adpcm,
+                                                      worker_addresses):
+        """One executor session shards a whole sweep, cell after cell."""
+        config = CampaignConfig(runs=4, base_seed=23, executor="socket",
+                                workers=tuple(worker_addresses))
+        sweep = CampaignRunner(adpcm, config).run_sweep(
+            [0, 2, 6], mode=ProtectionMode.UNPROTECTED)
+        reference = CampaignRunner(
+            adpcm, CampaignConfig(runs=4, base_seed=23)
+        ).run_sweep([0, 2, 6], mode=ProtectionMode.UNPROTECTED)
+        for socket_cell, serial_cell in zip(sweep.cells, reference.cells):
+            assert socket_cell.records == serial_cell.records
+
+    def test_connect_failure_is_reported(self, adpcm):
+        config = CampaignConfig(runs=2, executor="socket",
+                                workers=("127.0.0.1:1",))
+        executor = SocketExecutor(adpcm, config, connect_timeout=0.5)
+        with pytest.raises(OSError):
+            executor.start()

@@ -3,7 +3,6 @@
 from repro.assembler import ProgramBuilder, parse_assembly
 from repro.compiler.minic import compile_source
 from repro.compiler.passes import (
-    ControlTaggingPass,
     build_call_graph,
     build_cfg,
     clear_tags,
