@@ -7,11 +7,12 @@ Walks the whole pipeline once on the Susan edge detector:
 2. run the control-data static analysis (the paper's contribution),
 3. execute a golden (error-free) run on the functional simulator,
 4. inject a handful of bit flips into low-reliability instructions only,
-5. score the corrupted output with the application's fidelity measure.
+5. score the corrupted output with the application's fidelity measure,
+6. repeat the same injection under other fault models (docs/FAULT_MODELS.md).
 """
 
 from repro.apps import create_app
-from repro.sim import ProtectionMode, plan_injections
+from repro.sim import ProtectionMode, get_model, plan_injections
 
 
 def main() -> None:
@@ -41,6 +42,25 @@ def main() -> None:
     if fidelity is not None:
         print(f"edge-image PSNR vs. error-free output: {fidelity.score:.1f} dB "
               f"({'acceptable' if fidelity.acceptable else 'below threshold'})")
+
+    # The injection axis is pluggable: the same campaign machinery can
+    # corrupt data-only register writes, live memory cells, bursts of
+    # adjacent bits, or the executed operation itself.  The comparison
+    # runs UNPROTECTED, where the models actually differ (under
+    # protection, data-bit coincides with control-bit by construction).
+    print(f"\n{errors} errors, protection OFF, under each fault model:")
+    for model_name in ("control-bit", "data-bit", "memory-bit",
+                       "multi-bit", "opcode"):
+        model = get_model(model_name)
+        population = model.population(golden, ProtectionMode.UNPROTECTED)
+        model_plan = plan_injections(errors, population,
+                                     ProtectionMode.UNPROTECTED, seed=7,
+                                     model=model_name)
+        run = app.run_once(injection=model_plan, seed=0)
+        score = app.score_run(run, seed=0)
+        psnr = f"{score.score:6.1f} dB" if score is not None else "      --"
+        print(f"  {model_name:11s} -> {run.outcome:9s} {psnr} "
+              f"({model_plan.injected_errors} faults fired)")
 
 
 if __name__ == "__main__":

@@ -3,7 +3,8 @@
 Commands:
 
 * ``sweep``   — run (or resume) the paper's experiment grid into a shard
-  store, on any executor backend;
+  store, on any executor backend and under any fault model (``--model``,
+  see docs/FAULT_MODELS.md);
 * ``status``  — show per-cell progress of a store's grid;
 * ``tables``  — regenerate the paper's tables from a store;
 * ``figures`` — regenerate the paper's figures from a store;
@@ -38,7 +39,9 @@ from .experiments import (
     table1_applications,
     table2_catastrophic_failures,
     table3_low_reliability_instructions,
+    table4_fault_models,
 )
+from .sim import FAULT_MODELS, MODEL_NAMES
 
 _MODE_NAMES = {mode.value: mode for mode in GRID_MODES}
 
@@ -48,7 +51,9 @@ def _experiment_config(args, store: Optional[ShardStore] = None) -> ExperimentCo
 
     ``tables``/``figures`` must aggregate under the exact parameters the
     sweep persisted, so the store's ``meta.json`` wins unless the user
-    overrides explicitly.
+    overrides explicitly.  The fault model follows the same rule; stores
+    written before the model subsystem carry no ``model`` key and default
+    to ``control-bit``.
     """
     meta = store.read_meta() if store is not None else None
     suite = (args.suite if args.suite is not None
@@ -59,8 +64,23 @@ def _experiment_config(args, store: Optional[ShardStore] = None) -> ExperimentCo
             else (meta or {}).get("runs_per_cell", 8))
     base_seed = (args.base_seed if args.base_seed is not None
                  else (meta or {}).get("base_seed", 2006))
+    model = (args.model if getattr(args, "model", None) is not None
+             else (meta or {}).get("model", "control-bit"))
     return ExperimentConfig(suite_name=suite, runs_per_cell=runs,
-                            base_seed=base_seed)
+                            base_seed=base_seed, model=model)
+
+
+def _open_store(args):
+    """The command's shard store and experiment config, model-consistent.
+
+    The store must look up shards under the same fault model the config
+    aggregates, so the model resolved by :func:`_experiment_config`
+    (CLI flag, else store meta, else the default) is bound to the store.
+    """
+    store = ShardStore(args.store)
+    config = _experiment_config(args, store)
+    store.model = config.model
+    return store, config
 
 
 def _add_store_argument(parser: argparse.ArgumentParser) -> None:
@@ -88,11 +108,16 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-table2-points", action="store_true",
                         help="sweep only the figure series, not the Table 2 "
                              "operating points")
+    model_lines = "; ".join(f"'{name}': {FAULT_MODELS[name].summary}"
+                            for name in MODEL_NAMES)
+    parser.add_argument("--model", choices=MODEL_NAMES, default=None,
+                        help="fault model injected runs use (default: store "
+                             f"meta or 'control-bit'). {model_lines}. "
+                             "See docs/FAULT_MODELS.md.")
 
 
 def _make_orchestrator(args, progress=None) -> SweepOrchestrator:
-    store = ShardStore(args.store)
-    config = _experiment_config(args, store)
+    store, config = _open_store(args)
     campaign = CampaignConfig(
         runs=config.runs_per_cell,
         base_seed=config.base_seed,
@@ -100,6 +125,7 @@ def _make_orchestrator(args, progress=None) -> SweepOrchestrator:
         engine=getattr(args, "engine", "fork"),
         executor=getattr(args, "executor", "auto"),
         workers=tuple(getattr(args, "workers", None) or ()),
+        model=config.model,
     )
     modes = (tuple(_MODE_NAMES[name] for name in args.modes)
              if args.modes else GRID_MODES)
@@ -136,8 +162,7 @@ def _cmd_status(args) -> int:
 
 
 def _cmd_tables(args) -> int:
-    store = ShardStore(args.store)
-    config = _experiment_config(args, store)
+    store, config = _open_store(args)
     selected = args.tables or [1, 2, 3]
     for number in selected:
         if number == 1:
@@ -147,6 +172,12 @@ def _cmd_tables(args) -> int:
                                                  store=store)
         elif number == 3:
             table = table3_low_reliability_instructions(config, apps=args.apps)
+        elif number == 4:
+            # Beyond the paper: the same operating point under every fault
+            # model (live simulation; a store holds exactly one model).
+            table = table4_fault_models(config, apps=args.apps,
+                                        models=args.models,
+                                        errors=args.model_errors)
         else:
             print(f"unknown table {number}", file=sys.stderr)
             return 2
@@ -164,8 +195,7 @@ def _print_cli_error(error: Exception) -> int:
 
 
 def _cmd_figures(args) -> int:
-    store = ShardStore(args.store)
-    config = _experiment_config(args, store)
+    store, config = _open_store(args)
     selected = args.figures or sorted(ALL_FIGURES)
     for name in selected:
         builder = ALL_FIGURES.get(name)
@@ -222,7 +252,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_argument(tables)
     _add_grid_arguments(tables)
     tables.add_argument("--tables", nargs="*", type=int, default=None,
-                        metavar="N", help="table numbers (default: 1 2 3)")
+                        metavar="N",
+                        help="table numbers (default: 1 2 3; table 4 is the "
+                             "cross-fault-model outcome breakdown)")
+    tables.add_argument("--models", nargs="*", default=None,
+                        choices=MODEL_NAMES, metavar="MODEL",
+                        help="fault models table 4 compares (default: all)")
+    tables.add_argument("--model-errors", type=int, default=4, metavar="N",
+                        help="errors per run for table 4 cells (default 4)")
     tables.set_defaults(handler=_cmd_tables)
 
     figures = commands.add_parser(

@@ -215,11 +215,15 @@ class ErrorTolerantApp(abc.ABC):
         at or before the first injection site and splices the golden suffix
         back in on re-convergence (bit-identical results, O(divergence)
         cost); it degrades to the decoded engine when there is nothing to
-        inject.  Campaigns select the engine via ``CampaignConfig.engine``.
+        inject, or when the plan's fault model cannot resume from
+        checkpoints (``injection.fork_compatible`` is False — the fallback
+        runs the whole program and is asserted equivalent in the tests).
+        Campaigns select the engine via ``CampaignConfig.engine``.
         """
         golden = self.golden(seed)
         budget = max_instructions if max_instructions is not None else golden.watchdog_budget
-        if engine == "fork" and injection is not None and injection.targets:
+        if (engine == "fork" and injection is not None and injection.targets
+                and injection.fork_compatible):
             # The fork engine restores memory wholesale from the checkpoint
             # store, so the machine is built bare: no workload application,
             # no golden prefix re-execution.

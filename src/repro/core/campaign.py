@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from ..sim import ProtectionMode
+from ..sim import ProtectionMode, get_model
 from .app import ErrorTolerantApp, GoldenRun
 from .outcomes import CampaignResult, RunRecord, SweepResult
 
@@ -72,6 +72,13 @@ class CampaignConfig:
     #: ``host:port`` addresses of running ``python -m repro.exec.worker``
     #: processes for the socket executor.
     workers: Tuple[str, ...] = ()
+    #: Fault model every injection plan of the campaign uses
+    #: (:mod:`repro.sim.models`; see ``docs/FAULT_MODELS.md``).  The default
+    #: ``"control-bit"`` is the paper's single result-bit flip and is
+    #: bit-identical to the pre-model behaviour.  Models that cannot resume
+    #: from fork checkpoints (``"memory-bit"``) transparently fall back to
+    #: full-run execution under ``engine="fork"``.
+    model: str = "control-bit"
 
     def __post_init__(self) -> None:
         # Fail at construction with a clear message instead of deep inside
@@ -94,6 +101,12 @@ class CampaignConfig:
         if self.engine not in ENGINE_NAMES:
             raise ValueError(
                 f"unknown engine {self.engine!r}; expected one of {ENGINE_NAMES}"
+            )
+        get_model(self.model)  # raises ValueError on unknown model names
+        if self.engine == "reference" and self.model != "control-bit":
+            raise ValueError(
+                f"engine='reference' (the preserved seed interpreter) only "
+                f"implements the 'control-bit' fault model, not {self.model!r}"
             )
         self.workers = tuple(self.workers)
         from ..exec import EXECUTOR_NAMES  # deferred: repro.exec imports repro.core
@@ -153,7 +166,8 @@ class CampaignRunner:
         deliberately stripped from the pickled payload.)
         """
         build_checkpoints = (self.config.engine == "fork"
-                             and self.executor_name() == "serial")
+                             and self.executor_name() == "serial"
+                             and get_model(self.config.model).supports_fork)
         self.app.warm(seeds=range(min(self.config.runs, self.config.workloads)),
                       checkpoints=build_checkpoints)
 

@@ -33,6 +33,10 @@ class RunRecord:
     executed: int
     fidelity: Optional[FidelityResult] = None
     fault_kind: Optional[str] = None
+    #: Fault model the run was injected under (:mod:`repro.sim.models`).
+    #: The default is elided from the JSON form so control-bit shards stay
+    #: byte-identical to pre-model stores.
+    model: str = "control-bit"
 
     @property
     def is_catastrophic(self) -> bool:
@@ -62,7 +66,7 @@ class RunRecord:
                 "detail": {str(key): float(value)
                            for key, value in self.fidelity.detail.items()},
             }
-        return {
+        data = {
             "run_index": self.run_index,
             "seed": self.seed,
             "mode": self.mode.value,
@@ -73,6 +77,13 @@ class RunRecord:
             "fidelity": fidelity,
             "fault_kind": self.fault_kind,
         }
+        if self.model != "control-bit":
+            # Elide the default so control-bit *shard files* stay
+            # byte-identical to ones written before the fault model
+            # subsystem existed (meta.json additionally pins the model, so
+            # whole-store bytes may differ at that one file).
+            data["model"] = self.model
+        return data
 
     @classmethod
     def from_json(cls, data: Dict) -> "RunRecord":
@@ -95,6 +106,7 @@ class RunRecord:
             executed=data["executed"],
             fidelity=fidelity,
             fault_kind=data["fault_kind"],
+            model=data.get("model", "control-bit"),
         )
 
 

@@ -1,18 +1,28 @@
 """On-disk JSONL shard store for campaign run records.
 
 A *shard* holds all records of one campaign cell — one ``(app, mode,
-errors)`` combination — as JSON lines sorted by ``run_index``::
+errors)`` combination under one fault model — as JSON lines sorted by
+``run_index``::
 
     <root>/meta.json
-    <root>/<app>/<mode>-e<errors>.jsonl
+    <root>/<app>/<mode>-e<errors>.jsonl            # default control-bit model
+    <root>/<app>/<mode>-e<errors>@<model>.jsonl    # any other fault model
 
 Each line is one :class:`~repro.core.outcomes.RunRecord` in its
 ``to_json`` form, serialised deterministically (sorted keys, compact
 separators).  Records are pure functions of ``(base_seed, run_index,
-errors)``, so a store written by any executor backend — serial, process
-pool, TCP workers — and over any number of interrupted-and-resumed
-sessions is **byte-identical** to one written by a single uninterrupted
-serial sweep (asserted in ``tests/test_sweep_store.py``).
+errors, model)``, so a store written by any executor backend — serial,
+process pool, TCP workers — and over any number of
+interrupted-and-resumed sessions is **byte-identical** to one written by
+a single uninterrupted serial sweep (asserted in
+``tests/test_sweep_store.py``).
+
+A store instance is bound to one fault model (``ShardStore(root,
+model=...)``): shards of other models are invisible to it and its
+``meta.json`` pins the model alongside the campaign parameters, so two
+models can never silently mix records.  Stores written before the model
+subsystem existed carry no ``model`` key in their metadata and default to
+``control-bit`` — the migration-safe reading of what they contain.
 
 Crash safety: appends happen a whole line at a time, and both readers and
 appenders first truncate a partially-written trailing line (the only
@@ -31,6 +41,22 @@ from ..sim import ProtectionMode
 from .outcomes import CampaignResult, RunRecord, SweepResult
 
 META_FILENAME = "meta.json"
+
+#: The default fault model, elided from shard filenames and assumed for
+#: pre-model stores whose ``meta.json`` has no ``model`` key.
+DEFAULT_MODEL = "control-bit"
+
+
+def _normalise_meta(meta: Dict) -> Dict:
+    """Fill the migration-safe ``model`` default into a metadata dict.
+
+    Stores written before the fault-model subsystem carry no ``model``
+    key; they hold control-bit records by construction, so comparisons
+    treat the missing key as ``"control-bit"``.
+    """
+    normalised = dict(meta)
+    normalised.setdefault("model", DEFAULT_MODEL)
+    return normalised
 
 
 class MissingCellError(KeyError):
@@ -55,29 +81,43 @@ def _encode_line(record: RunRecord) -> str:
 
 
 class ShardStore:
-    """Resumable record store keyed by ``(app, mode, errors, run_index)``."""
+    """Resumable record store keyed by ``(app, mode, errors, run_index)``.
 
-    def __init__(self, root) -> None:
+    One store instance reads and writes the shards of a single fault
+    model (``model=``, default ``control-bit``); see the module docstring
+    for the on-disk layout.
+    """
+
+    def __init__(self, root, model: str = DEFAULT_MODEL) -> None:
         # The directory is created lazily by the write paths so read-only
         # consumers (status/tables/figures on a mistyped path) never leave
         # empty directories behind.
         self.root = Path(root)
+        self.model = model
 
     # ------------------------------------------------------------------
     # Store metadata: guards against resuming with a mismatched grid.
     # ------------------------------------------------------------------
     @property
     def meta_path(self) -> Path:
+        """Path of the store's ``meta.json`` parameter pin."""
         return self.root / META_FILENAME
 
     def read_meta(self) -> Optional[Dict]:
+        """The pinned campaign parameters, or ``None`` for a fresh store."""
         if not self.meta_path.exists():
             return None
         return json.loads(self.meta_path.read_text())
 
     def ensure_meta(self, meta: Dict) -> None:
         """Record ``meta`` on first use; refuse to resume under different
-        campaign parameters (records would not be comparable)."""
+        campaign parameters (records would not be comparable).
+
+        Comparison treats a missing ``model`` key as the ``control-bit``
+        default on both sides, so stores written before the fault-model
+        subsystem resume cleanly under the default model and refuse any
+        other.
+        """
         existing = self.read_meta()
         if existing is None:
             # Atomic write: a kill mid-write must not leave a truncated
@@ -86,7 +126,7 @@ class ShardStore:
             scratch = self.meta_path.with_suffix(".json.tmp")
             scratch.write_text(json.dumps(meta, sort_keys=True, indent=2) + "\n")
             os.replace(scratch, self.meta_path)
-        elif existing != meta:
+        elif _normalise_meta(existing) != _normalise_meta(meta):
             raise StoreMismatchError(
                 f"store {self.root} was created with {existing}; "
                 f"refusing to resume with {meta}"
@@ -96,16 +136,30 @@ class ShardStore:
     # Shard layout.
     # ------------------------------------------------------------------
     def shard_path(self, app_name: str, mode: ProtectionMode, errors: int) -> Path:
-        return self.root / app_name / f"{mode.value}-e{errors}.jsonl"
+        """Path of one cell's shard under this store's fault model.
+
+        The default model keeps the historical ``<mode>-e<errors>.jsonl``
+        name (existing stores stay valid byte-for-byte); any other model
+        is appended as ``@<model>`` so shards of different models can
+        never collide in one directory.
+        """
+        stem = f"{mode.value}-e{errors}"
+        if self.model != DEFAULT_MODEL:
+            stem += f"@{self.model}"
+        return self.root / app_name / f"{stem}.jsonl"
 
     def shards(self) -> Iterator[Tuple[str, ProtectionMode, int, Path]]:
-        """Iterate ``(app, mode, errors, path)`` for every existing shard."""
+        """Iterate ``(app, mode, errors, path)`` for every existing shard
+        of this store's fault model (other models' shards are skipped)."""
         if not self.root.exists():
             return
         for app_dir in sorted(path for path in self.root.iterdir()
                               if path.is_dir()):
             for shard in sorted(app_dir.glob("*-e*.jsonl")):
-                mode_value, _, errors_text = shard.stem.rpartition("-e")
+                stem, _, shard_model = shard.stem.partition("@")
+                if (shard_model or DEFAULT_MODEL) != self.model:
+                    continue
+                mode_value, _, errors_text = stem.rpartition("-e")
                 yield (app_dir.name, ProtectionMode(mode_value),
                        int(errors_text), shard)
 
@@ -138,6 +192,7 @@ class ShardStore:
 
     def present_indices(self, app_name: str, mode: ProtectionMode,
                         errors: int) -> Set[int]:
+        """Run indices of one cell that already have persisted records."""
         return {record.run_index
                 for record in self.load_records(app_name, mode, errors)}
 
@@ -175,6 +230,13 @@ class ShardStore:
     # ------------------------------------------------------------------
     def load_campaign(self, app_name: str, mode: ProtectionMode, errors: int,
                       expect_runs: Optional[int] = None) -> CampaignResult:
+        """One cell's persisted records as a :class:`CampaignResult`.
+
+        Raises :class:`MissingCellError` when the cell has no records, or
+        fewer than ``expect_runs`` — artefact builders pass the sweep's
+        runs-per-cell so an incomplete sweep cannot silently produce
+        tables from partial data.
+        """
         records = self.load_records(app_name, mode, errors)
         if not records:
             raise MissingCellError(
@@ -196,6 +258,7 @@ class ShardStore:
     def load_sweep(self, app_name: str, mode: ProtectionMode,
                    errors_axis: Sequence[int],
                    expect_runs: Optional[int] = None) -> SweepResult:
+        """An error-count series of cells, loaded via :meth:`load_campaign`."""
         sweep = SweepResult(app_name=app_name, mode=mode)
         for errors in errors_axis:
             sweep.cells.append(

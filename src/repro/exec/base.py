@@ -2,8 +2,8 @@
 
 A campaign cell is a list of *run tasks* — ``(run_index, errors, mode)``
 tuples — and every injection plan is a pure function of
-``(config.base_seed, run_index, errors)``.  That purity is the whole
-contract: an :class:`Executor` may run the tasks in-process, fan them out
+``(config.base_seed, run_index, errors, config.model)``.  That purity is
+the whole contract: an :class:`Executor` may run the tasks in-process, fan them out
 over a local process pool, or shard them over TCP to workers on other
 hosts, and the resulting :class:`~repro.core.outcomes.RunRecord` stream
 must be **bit-identical** in every case (asserted in
@@ -25,7 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..core.app import ErrorTolerantApp, GoldenRun
 from ..core.outcomes import RunRecord
-from ..sim import ProtectionMode, plan_injections
+from ..sim import ProtectionMode, get_model, plan_injections
 
 #: One campaign run: ``(run_index, errors, mode)``.
 RunTask = Tuple[int, int, ProtectionMode]
@@ -42,10 +42,12 @@ def make_record(app: ErrorTolerantApp, config, run_index: int, errors: int,
     workload_seed = config.workload_seed_for(run_index)
     if golden is None:
         golden = app.golden(workload_seed)
-    exposed = golden.exposed_count(mode)
+    model = get_model(config.model)
+    population = model.population(golden, mode)
     injection_seed = config.seed_for(run_index) + 104729 * errors
     if errors > 0 and mode is not ProtectionMode.NONE:
-        plan = plan_injections(errors, exposed, mode, seed=injection_seed)
+        plan = plan_injections(errors, population, mode, seed=injection_seed,
+                               model=model.name)
     else:
         plan = None
     run = app.run_once(injection=plan, seed=workload_seed, engine=config.engine)
@@ -60,6 +62,7 @@ def make_record(app: ErrorTolerantApp, config, run_index: int, errors: int,
         executed=run.executed,
         fidelity=fidelity,
         fault_kind=run.fault_kind,
+        model=model.name,
     )
 
 

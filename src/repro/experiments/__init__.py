@@ -24,6 +24,7 @@ from .tables import (
     table1_applications,
     table2_catastrophic_failures,
     table3_low_reliability_instructions,
+    table4_fault_models,
 )
 
 __all__ = [
@@ -49,4 +50,5 @@ __all__ = [
     "table1_applications",
     "table2_catastrophic_failures",
     "table3_low_reliability_instructions",
+    "table4_fault_models",
 ]

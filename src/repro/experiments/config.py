@@ -20,13 +20,17 @@ from ..core.app import ErrorTolerantApp
 
 @dataclass
 class ExperimentConfig:
-    """How much work each experiment performs."""
+    """How much work each experiment performs, and under which fault model."""
 
     suite_name: str = "standard"
     runs_per_cell: int = 10
     base_seed: int = 2006
+    #: Fault model the experiment's campaigns inject under
+    #: (:mod:`repro.sim.models`); the default reproduces the paper.
+    model: str = "control-bit"
 
     def suite(self) -> Dict[str, ErrorTolerantApp]:
+        """Fresh application instances for the configured workload suite."""
         if self.suite_name == "standard":
             return standard_suite()
         if self.suite_name == "small":
@@ -34,7 +38,9 @@ class ExperimentConfig:
         raise ValueError(f"unknown suite {self.suite_name!r}")
 
     def campaign_config(self) -> CampaignConfig:
-        return CampaignConfig(runs=self.runs_per_cell, base_seed=self.base_seed)
+        """The equivalent per-cell :class:`CampaignConfig`."""
+        return CampaignConfig(runs=self.runs_per_cell, base_seed=self.base_seed,
+                              model=self.model)
 
 
 def quick() -> ExperimentConfig:

@@ -57,6 +57,7 @@ class SweepStatus:
 
     @property
     def complete(self) -> bool:
+        """True when every run of the cell has a persisted record."""
         return self.done >= self.total
 
 
@@ -121,6 +122,15 @@ class SweepOrchestrator:
         self.store = store
         self.config = config
         self.campaign_config = campaign or config.campaign_config()
+        if store.model != self.campaign_config.model:
+            # Shard paths derive from the store's model and records derive
+            # from the campaign's: a mismatch would file one model's
+            # records under another's shards.
+            raise ValueError(
+                f"store is bound to fault model {store.model!r} but the "
+                f"campaign uses {self.campaign_config.model!r}; construct "
+                f"ShardStore(root, model=...) to match"
+            )
         self.apps = apps
         self.modes = tuple(modes)
         self.errors_axis = errors_axis
@@ -143,6 +153,7 @@ class SweepOrchestrator:
             "runs_per_cell": self.campaign_config.runs,
             "base_seed": self.campaign_config.base_seed,
             "workloads": self.campaign_config.workloads,
+            "model": self.campaign_config.model,
         })
 
     def _report(self, message: str) -> None:
@@ -150,6 +161,7 @@ class SweepOrchestrator:
             self._progress(message)
 
     def plan(self) -> List[SweepCell]:
+        """The grid cells this orchestrator covers, in paper order."""
         return paper_grid(self.config, apps=self.apps, modes=self.modes,
                           errors_axis=self.errors_axis,
                           include_table2=self.include_table2)

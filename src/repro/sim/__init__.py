@@ -36,8 +36,14 @@ from .machine import (
     summarise_counts,
 )
 from .memory import Memory
+from .models import CONTROL_BIT, FAULT_MODELS, FaultModel, MODEL_NAMES, get_model
 
 __all__ = [
+    "CONTROL_BIT",
+    "FAULT_MODELS",
+    "FaultModel",
+    "MODEL_NAMES",
+    "get_model",
     "ArithmeticFault",
     "Checkpoint",
     "CheckpointStore",

@@ -1175,6 +1175,70 @@ def _wrap_exposed(compute, is_float, d, nxt, index, opname, plan, targets, state
     return h
 
 
+def _wrap_exposed_model(compute, corrupt, consumes, is_float, d, nxt, index,
+                        opname, plan, targets, state, int_regs, float_regs):
+    """Generic injection wrapper for non-default fault models.
+
+    Same shape as :func:`_wrap_exposed` (which stays the specialised,
+    bit-identical wrapper for the default ``control-bit`` model), but the
+    corruption is delegated to the model's corruptor closure, which
+    returns ``(corrupted, bit, detail)`` — see
+    :class:`repro.sim.models.FaultModel.make_corruptor`.
+
+    When ``consumes`` is False (``FaultModel.consumes_result``) the
+    victim's own operation is **not executed** at a fired occurrence: the
+    corruptor replaces it outright, so a substituted operation can never
+    surface the victim's faults (a corrupted-opcode ``DIV`` with a zero
+    divisor must not raise the division fault of an operation that never
+    ran).  The event's ``original`` is ``None`` in that case.
+    """
+    ntargets = len(targets)
+    record = plan.record
+    if is_float:
+        def h():
+            tp = state[0]
+            ec = state[1]
+            if tp < ntargets and ec == targets[tp]:
+                original = compute() if consumes else None
+                corrupted, bit, detail = corrupt(original)
+                record(InjectionEvent(
+                    dynamic_index=ec, static_index=index, opcode=opname,
+                    bit=bit, original=original, corrupted=corrupted,
+                    detail=detail,
+                ))
+                state[0] = tp + 1
+                state[1] = ec + 1
+                float_regs[d] = corrupted
+            else:
+                state[1] = ec + 1
+                float_regs[d] = compute()
+            return nxt
+    else:
+        def h():
+            tp = state[0]
+            ec = state[1]
+            if tp < ntargets and ec == targets[tp]:
+                original = compute() if consumes else None
+                corrupted, bit, detail = corrupt(original)
+                record(InjectionEvent(
+                    dynamic_index=ec, static_index=index, opcode=opname,
+                    bit=bit, original=original, corrupted=corrupted,
+                    detail=detail,
+                ))
+                state[0] = tp + 1
+                state[1] = ec + 1
+                if d:  # the zero register stays hard-wired
+                    int_regs[d] = corrupted
+            else:
+                state[1] = ec + 1
+                if d:
+                    int_regs[d] = compute()
+                else:
+                    compute()  # faults and conversions still happen
+            return nxt
+    return h
+
+
 @dataclass
 class ClassVectors:
     """Static classification index vectors for one decoded program.
@@ -1250,9 +1314,25 @@ class DecodedProgram:
         advance the exposed counter — state evolution is identical to the
         fast table — so a caller holding ``fast`` may swap it back in to
         execute the rest of the run at full speed, as the fork engine does.
+
+        The plan's :mod:`fault model <repro.sim.models>` supplies the site
+        flags and corruption: the default ``control-bit`` model keeps the
+        original specialised wrapper (bit-identical to the pre-model
+        engine); other result models go through the generic wrapper with a
+        model-built corruptor.  State-kind models (``memory-bit``) never
+        reach this method — the machine runs them with its state-corruption
+        loop instead.
         """
         handlers = list(fast) if fast is not None else self.bind(machine)
-        flags = self.exposure(plan.mode)
+        model = plan.model_impl
+        if model.kind != "result":
+            raise ValueError(
+                f"fault model {model.name!r} corrupts machine state, not "
+                f"instruction results; it cannot be bound as handlers"
+            )
+        default_model = model.name == "control-bit"
+        flags = (self.exposure(plan.mode) if default_model
+                 else model.exposure(self, plan.mode))
         targets = list(plan.targets)
         state = [0, exposed_start]  # [next-target pointer, exposed-dynamic counter]
         specs = self.specs
@@ -1270,10 +1350,20 @@ class DecodedProgram:
             # control-flow opcode that writes a register is JAL, whose next
             # pc is its (pre-resolved) static target.
             nxt = spec[5] if op is Opcode.JAL else spec[6]
-            handlers[index] = _wrap_exposed(
-                compute, op in FLOAT_RESULT_OPS, spec[1], nxt, index,
-                opnames[index], plan, targets, state, ir, fr,
-            )
+            is_float = op in FLOAT_RESULT_OPS
+            if default_model:
+                handlers[index] = _wrap_exposed(
+                    compute, is_float, spec[1], nxt, index,
+                    opnames[index], plan, targets, state, ir, fr,
+                )
+            else:
+                corrupt = model.make_corruptor(op, spec, machine, is_float,
+                                               plan)
+                handlers[index] = _wrap_exposed_model(
+                    compute, corrupt, model.consumes_result, is_float,
+                    spec[1], nxt, index, opnames[index], plan, targets,
+                    state, ir, fr,
+                )
         return handlers
 
 

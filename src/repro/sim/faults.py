@@ -17,6 +17,12 @@ This module defines the injection *policy* (which static instructions are
 eligible) and the injection *plan* (which dynamic occurrences receive a
 flip).  The :class:`~repro.sim.machine.Machine` consumes a plan and performs
 the flips while executing.
+
+The paper's model is one of several: a plan carries the name of the
+:mod:`fault model <repro.sim.models>` that defines its site population and
+corruption semantics (``model="control-bit"`` — the paper's single result
+bit flip — being the default and bit-identical to the pre-model code).
+See ``docs/FAULT_MODELS.md``.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..isa import Instruction, Program
 
@@ -75,7 +81,14 @@ def exposure_flags(instructions: Sequence[Instruction],
 
 @dataclass
 class InjectionEvent:
-    """Record of one performed bit flip."""
+    """Record of one performed corruption.
+
+    ``bit`` is the flipped bit position for single-flip models, or the
+    burst start for the multi-bit model, or ``-1`` when the corruption is
+    not bit-indexed (opcode substitution, random-word replacement).
+    ``address`` is set by memory-site models; ``detail`` carries a short
+    model-specific note (substituted opcode, burst width, ...).
+    """
 
     dynamic_index: int
     static_index: int
@@ -83,23 +96,30 @@ class InjectionEvent:
     bit: int
     original: float
     corrupted: float
+    address: Optional[int] = None
+    detail: Optional[str] = None
 
 
 @dataclass
 class InjectionPlan:
     """A concrete set of dynamic injection points for a single run.
 
-    ``targets`` are indices into the stream of *exposed* dynamic
-    instructions (0-based, strictly increasing).  If control flow diverges
-    after an early flip and some later targets are never reached, those
-    errors are simply not inserted — the same thing happens on real hardware
-    when a run crashes before its remaining soft errors strike.
+    ``targets`` are indices into the fault model's dynamic site stream
+    (0-based, strictly increasing) — for the default ``control-bit`` model
+    that is the stream of *exposed* dynamic instructions.  If control flow
+    diverges after an early flip and some later targets are never reached,
+    those errors are simply not inserted — the same thing happens on real
+    hardware when a run crashes before its remaining soft errors strike.
+
+    ``model`` names the :mod:`fault model <repro.sim.models>` that defines
+    the site stream and the corruption applied when a target fires.
     """
 
     mode: ProtectionMode
     targets: Sequence[int]
     seed: int = 0
     events: List[InjectionEvent] = field(default_factory=list)
+    model: str = "control-bit"
 
     def __post_init__(self) -> None:
         targets = list(self.targets)
@@ -118,6 +138,27 @@ class InjectionPlan:
     def injected_errors(self) -> int:
         return len(self.events)
 
+    @property
+    def rng(self) -> random.Random:
+        """The plan's seeded generator — the only randomness models may use.
+
+        Draws happen in target-firing order, which is fixed by the
+        strictly-increasing targets, so a run is a pure function of the
+        plan regardless of engine or executor backend.
+        """
+        return self._rng
+
+    @property
+    def model_impl(self):
+        """The registered :class:`~repro.sim.models.FaultModel` instance."""
+        from .models import get_model  # deferred: models imports this module
+        return get_model(self.model)
+
+    @property
+    def fork_compatible(self) -> bool:
+        """Whether this plan's model can resume from golden checkpoints."""
+        return self.model_impl.supports_fork
+
     def choose_bit(self, width: int) -> int:
         """Pick the bit position to flip for the next event."""
         return self._rng.randrange(width)
@@ -131,26 +172,31 @@ def plan_injections(
     exposed_dynamic_count: int,
     mode: ProtectionMode,
     seed: int,
+    model: str = "control-bit",
 ) -> InjectionPlan:
     """Draw ``num_errors`` uniform injection points for a run.
 
     Parameters
     ----------
     num_errors:
-        Number of bit flips to insert (the x-axis of the paper's figures).
+        Number of faults to insert (the x-axis of the paper's figures).
     exposed_dynamic_count:
-        Number of exposed dynamic instructions observed in a golden run of
-        the same workload.  Injection points are drawn uniformly from this
-        range, matching the paper's uniform-over-the-run insertion.
+        Size of the fault model's dynamic site stream observed in a golden
+        run of the same workload (``FaultModel.population``) — for the
+        default model, the number of exposed dynamic instructions.
+        Injection points are drawn uniformly from this range, matching the
+        paper's uniform-over-the-run insertion.
     mode:
         Protection mode the plan applies to.
     seed:
-        Seed controlling both the chosen points and the flipped bits.
+        Seed controlling both the chosen points and the corruption draws.
+    model:
+        Name of the :mod:`fault model <repro.sim.models>` the plan is for.
     """
     if num_errors < 0:
         raise ValueError("num_errors must be non-negative")
     if mode is ProtectionMode.NONE or num_errors == 0:
-        return InjectionPlan(mode=mode, targets=[], seed=seed)
+        return InjectionPlan(mode=mode, targets=[], seed=seed, model=model)
     if exposed_dynamic_count <= 0:
         raise ValueError(
             "cannot plan injections: the golden run exposed no dynamic instructions"
@@ -159,4 +205,4 @@ def plan_injections(
     population = exposed_dynamic_count
     count = min(num_errors, population)
     targets = sorted(rng.sample(range(population), count))
-    return InjectionPlan(mode=mode, targets=targets, seed=seed)
+    return InjectionPlan(mode=mode, targets=targets, seed=seed, model=model)

@@ -255,11 +255,21 @@ def run_forked(machine, plan: InjectionPlan, store: CheckpointStore,
         raise ValueError("checkpoint store was built for a different program")
     if not plan.targets:
         raise ValueError("fork engine requires a non-empty injection plan")
+    # The plan's fault model names the checkpoint counter grid that tracks
+    # its site stream (for the default model: the run mode's exposed
+    # stream; for data-bit: always the protected stream).  Models with no
+    # tracked stream (memory-bit) never reach this engine — Machine.run
+    # falls back to full-run decoded execution for them.
+    grid_mode = plan.model_impl.fork_grid_mode(plan.mode)
+    if grid_mode is None:
+        raise ValueError(
+            f"fault model {plan.model!r} cannot resume from checkpoints"
+        )
 
     decoded = decode_program(machine.program)
     text_len = decoded.text_len
     checkpoints = store.checkpoints
-    start_index = store.select(plan.targets[0], plan.mode, max_instructions)
+    start_index = store.select(plan.targets[0], grid_mode, max_instructions)
     start = checkpoints[start_index]
 
     # ------------------------------------------------------------------
@@ -281,7 +291,7 @@ def run_forked(machine, plan: InjectionPlan, store: CheckpointStore,
 
     fast_handlers = decoded.bind(machine)
     handlers = decoded.bind_injected(
-        machine, plan, exposed_start=start.exposed_count(plan.mode),
+        machine, plan, exposed_start=start.exposed_count(grid_mode),
         fast=fast_handlers,
     )
 

@@ -204,13 +204,24 @@ class Machine:
         (a :class:`~repro.sim.fork.CheckpointStore`) and splices the golden
         suffix back in on re-convergence.  All engines produce bit-identical
         results under the same seeds.  A fork run with no injection targets
-        degrades to the decoded engine (there is nothing to fork from).
+        degrades to the decoded engine (there is nothing to fork from), and
+        so does a plan whose :mod:`fault model <repro.sim.models>` cannot
+        resume from checkpoints (``memory-bit``) — the fallback executes
+        the full run and is asserted equivalent in the test suite.  The
+        reference engine predates the model subsystem and only implements
+        the default ``control-bit`` model.
         """
+        has_targets = injection is not None and bool(injection.targets)
         if engine == "reference":
+            if has_targets and injection.model != "control-bit":
+                raise ValueError(
+                    f"the reference engine only implements the 'control-bit' "
+                    f"fault model, not {injection.model!r}"
+                )
             from .reference import execute_reference
             return execute_reference(self, max_instructions, injection)
         if engine == "fork":
-            if injection is not None and injection.targets:
+            if has_targets and injection.fork_compatible:
                 if checkpoints is None:
                     raise ValueError("engine='fork' requires a checkpoint store")
                 from .fork import run_forked
@@ -224,9 +235,17 @@ class Machine:
         exec_counts = [0] * text_len
 
         # Golden runs (no injection, or an empty plan) bind the fast handler
-        # table and skip the exposure bookkeeping entirely.
-        if injection is not None and injection.targets:
-            handlers = decoded.bind_injected(self, injection)
+        # table and skip the exposure bookkeeping entirely.  Result-model
+        # plans wrap the exposed instructions; state-model plans keep the
+        # fast table and corrupt machine state between instructions.
+        state_model = None
+        if has_targets:
+            model = injection.model_impl
+            if model.kind == "state":
+                state_model = model
+                handlers = decoded.bind(self)
+            else:
+                handlers = decoded.bind_injected(self, injection)
         else:
             handlers = decoded.bind(self)
 
@@ -241,12 +260,30 @@ class Machine:
         # dynamically), so the only way out of the text segment is the
         # ``text_len`` halt sentinel.
         try:
-            while pc != text_len:
-                if executed >= max_instructions:
-                    raise WatchdogExpired(executed, max_instructions)
-                exec_counts[pc] += 1
-                executed += 1
-                pc = handlers[pc]()
+            if state_model is not None:
+                # State-corruption loop: pause at each target index of the
+                # dynamic stream and let the model mutate machine state.
+                # Targets beyond the run's natural end never fire, like
+                # unreached targets of a result plan.
+                targets = injection.targets
+                ntargets = len(targets)
+                tp = 0
+                while pc != text_len:
+                    if executed >= max_instructions:
+                        raise WatchdogExpired(executed, max_instructions)
+                    if tp < ntargets and targets[tp] == executed:
+                        state_model.corrupt_state(self, injection, executed)
+                        tp += 1
+                    exec_counts[pc] += 1
+                    executed += 1
+                    pc = handlers[pc]()
+            else:
+                while pc != text_len:
+                    if executed >= max_instructions:
+                        raise WatchdogExpired(executed, max_instructions)
+                    exec_counts[pc] += 1
+                    executed += 1
+                    pc = handlers[pc]()
         except SimFault as exc:
             outcome = Outcome.CRASH
             fault = exc

@@ -1,0 +1,81 @@
+"""Pluggable fault models: *which* machine state soft errors corrupt.
+
+The paper's experiment injects single-bit flips into instruction results
+and asks how much of that stream must be protected; this package
+generalises the injection axis so the same campaign machinery (decode /
+fork / executors / shard store / CLI) can answer the question under other
+fault models.  See ``docs/FAULT_MODELS.md`` for the model-by-model
+documentation and :mod:`repro.sim.models.base` for the protocol.
+
+Models are registered by name; everything downstream (plans, campaign
+configs, run records, shard metadata, the ``--model`` CLI flag) refers to
+them by these strings:
+
+========================  ====================================================
+``control-bit`` (default) the paper's model — one result bit of a
+                          mode-exposed instruction
+``data-bit``              one result bit, but only in non-control
+                          (low-reliability) register writes, in both modes
+``memory-bit``            one bit of a live data memory cell, at a uniform
+                          point of the whole dynamic stream
+``multi-bit``             a burst of 2-4 adjacent result bits (multi-cell
+                          upset)
+``opcode``                the fired instruction executes a substituted
+                          same-format operation on its operands
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .base import Corruptor, FaultModel
+from .control import ControlBitModel
+from .data import DataBitModel
+from .memory import MemoryBitModel
+from .multibit import MultiBitModel
+from .opcode import OpcodeModel
+
+#: Name of the default model (the paper's; bit-identical to the
+#: pre-subsystem behaviour).
+CONTROL_BIT = ControlBitModel.name
+
+#: Singleton registry: models are stateless, one instance serves all runs.
+FAULT_MODELS: Dict[str, FaultModel] = {
+    model.name: model
+    for model in (ControlBitModel(), DataBitModel(), MemoryBitModel(),
+                  MultiBitModel(), OpcodeModel())
+}
+
+#: Registry names in deterministic (sorted) order, for CLI choices and
+#: config validation messages.
+MODEL_NAMES: Tuple[str, ...] = tuple(sorted(FAULT_MODELS))
+
+
+def get_model(name: str) -> FaultModel:
+    """Return the registered fault model called ``name``.
+
+    Raises ``ValueError`` (not ``KeyError``) on unknown names so config
+    validation and CLI error paths report it as a user-input problem.
+    """
+    try:
+        return FAULT_MODELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault model {name!r}; expected one of {MODEL_NAMES}"
+        ) from None
+
+
+__all__ = [
+    "CONTROL_BIT",
+    "Corruptor",
+    "FAULT_MODELS",
+    "FaultModel",
+    "MODEL_NAMES",
+    "ControlBitModel",
+    "DataBitModel",
+    "MemoryBitModel",
+    "MultiBitModel",
+    "OpcodeModel",
+    "get_model",
+]

@@ -1,0 +1,50 @@
+"""Data-bit model: flips restricted to non-control register writes.
+
+Site set: dynamic occurrences of register-writing instructions the static
+analysis tagged **low-reliability** (i.e. not influencing control flow) —
+in *both* protection modes.  This is the complement experiment to the
+paper's: instead of asking "what happens when control data is protected",
+it asks "what happens when *only* data computation is ever hit", which
+isolates the pure-dataflow vulnerability of an application.
+
+Under ``PROTECTED`` the site set coincides with the control-bit model's
+(protection already restricts errors to non-control writes), so the two
+models produce identical runs there; under ``UNPROTECTED`` the data-bit
+model keeps faults out of control data where the control-bit model would
+hit address arithmetic, branches inputs and call linkage too.
+
+Corruption: a single uniformly chosen result bit, exactly as in the
+control-bit model.
+
+Fork compatibility: the site stream equals the ``PROTECTED`` exposure
+stream regardless of the run's mode, which the checkpoint grids already
+count — so forked runs resume from the protected counter grid.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..faults import ProtectionMode
+from .control import ControlBitModel
+
+
+class DataBitModel(ControlBitModel):
+    """Single-bit flips in low-reliability (non-control) register writes."""
+
+    name = "data-bit"
+    supports_fork = True
+    summary = ("single bit flip restricted to non-control (low-reliability) "
+               "register writes, in both protection modes")
+
+    def population(self, golden, mode: ProtectionMode) -> int:
+        """Low-reliability dynamic writes — the protected exposure count."""
+        return golden.exposed_protected
+
+    def exposure(self, decoded, mode: ProtectionMode) -> List[bool]:
+        """Protected-mode exposure flags, whatever the run's mode."""
+        return decoded.exposed_protected
+
+    def fork_grid_mode(self, mode: ProtectionMode) -> Optional[ProtectionMode]:
+        """Always the protected counter grid (the site stream it equals)."""
+        return ProtectionMode.PROTECTED

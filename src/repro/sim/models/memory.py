@@ -1,0 +1,77 @@
+"""Memory-bit model: bit flips in live data memory.
+
+The paper's model corrupts datapath *results*; SRAM and DRAM cells are at
+least as exposed to particle strikes, and an error-tolerant application's
+working set sits in memory far longer than any value sits in a register.
+This model injects there: each fault flips one bit of one currently-live
+data memory cell.
+
+Site selection: targets index the **whole dynamic instruction stream**
+(population = the golden run's executed count, not an exposure count); a
+target ``t`` fires after exactly ``t`` instructions have executed, i.e.
+between instruction ``t-1`` and instruction ``t``.  At fire time the
+model picks a cell uniformly among the machine's live (materialised)
+cells in address order and flips a uniformly chosen bit of its value —
+32-bit two's complement for integer cells, 64-bit IEEE-754 for float
+cells.  Protection mode does not restrict the site set (memory is not
+covered by the paper's control-data protection), but it is still recorded
+on the plan so campaign grids keep their shape.
+
+Corruption draws, in order, from the plan's generator: the cell index
+(uniform over the sorted live addresses) and the bit position.
+
+Fork compatibility: **none** — the checkpoint grids count exposed
+instructions, not raw stream positions, so ``supports_fork = False`` and
+``engine="fork"`` campaigns transparently fall back to full-run decoded
+execution for this model (asserted equivalent in
+``tests/test_fault_models.py``).
+"""
+
+from __future__ import annotations
+
+from ...isa.encoding import FLOAT_BITS, INT_BITS, flip_float_bit, flip_int_bit
+from ..faults import InjectionEvent, ProtectionMode
+from .base import FaultModel
+
+
+class MemoryBitModel(FaultModel):
+    """Single-bit flips in live data memory cells (state corruption)."""
+
+    name = "memory-bit"
+    kind = "state"
+    supports_fork = False
+    #: Neither the site stream nor the corruption consults the protection
+    #: mode — protected and unprotected runs are identical by construction.
+    mode_sensitive = False
+    summary = ("single bit flip in a uniformly chosen live data memory "
+               "cell, at a uniform point of the dynamic instruction stream")
+
+    def population(self, golden, mode: ProtectionMode) -> int:
+        """The whole dynamic instruction stream of the golden run."""
+        return golden.executed
+
+    def corrupt_state(self, machine, plan, dynamic_index: int) -> None:
+        """Flip one bit of one live memory cell and record the event."""
+        cells = machine.memory.cells
+        if not cells:
+            return  # nothing live to corrupt; the fault is absorbed
+        rng = plan.rng
+        addresses = sorted(cells)
+        address = addresses[rng.randrange(len(addresses))]
+        original = cells[address]
+        if isinstance(original, int):
+            bit = rng.randrange(INT_BITS)
+            corrupted = flip_int_bit(original, bit)
+        else:
+            bit = rng.randrange(FLOAT_BITS)
+            corrupted = flip_float_bit(float(original), bit)
+        cells[address] = corrupted
+        plan.record(InjectionEvent(
+            dynamic_index=dynamic_index,
+            static_index=-1,
+            opcode="MEMORY",
+            bit=bit,
+            original=original,
+            corrupted=corrupted,
+            address=address,
+        ))

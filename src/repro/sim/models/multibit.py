@@ -1,0 +1,65 @@
+"""Multi-bit burst model: adjacent-bit bursts in exposed results.
+
+Real particle strikes increasingly upset more than one storage node:
+technology scaling turned the single-event upset of the 2006 paper into
+multi-cell upsets whose flipped bits are physically adjacent.  This model
+keeps the paper's site set (dynamic occurrences of mode-exposed
+instructions, as in the control-bit model) but corrupts a **burst** of
+2-4 adjacent bits of the result word instead of one.
+
+Corruption draws, in order, from the plan's generator: the burst start
+bit (uniform over the word) and the burst width (uniform in {2, 3, 4});
+the burst is truncated at the top of the word rather than wrapping, so a
+start near the MSB may flip fewer bits than the drawn width.
+
+Fork compatibility: same site stream as the control-bit model, so forked
+runs resume from the run mode's exposed counter grid.
+"""
+
+from __future__ import annotations
+
+from ...isa.encoding import (
+    FLOAT_BITS,
+    INT_BITS,
+    bits_to_float,
+    bits_to_int,
+    float_to_bits,
+    int_to_bits,
+)
+from .base import Corruptor
+from .control import ControlBitModel
+
+#: Inclusive burst-width bounds (drawn uniformly).
+MIN_BURST = 2
+MAX_BURST = 4
+
+
+class MultiBitModel(ControlBitModel):
+    """2-4 adjacent result bits flipped per fault (multi-cell upset)."""
+
+    name = "multi-bit"
+    supports_fork = True
+    summary = ("burst of 2-4 adjacent bit flips in the result of a "
+               "mode-exposed instruction (multi-cell upset)")
+
+    def make_corruptor(self, op, spec, machine, is_float: bool,
+                       plan) -> Corruptor:
+        """Flip a burst of adjacent bits starting at a uniform position."""
+        rng = plan.rng
+        if is_float:
+            def corrupt(result):
+                start = rng.randrange(FLOAT_BITS)
+                width = MIN_BURST + rng.randrange(MAX_BURST - MIN_BURST + 1)
+                mask = ((1 << width) - 1) << start
+                mask &= (1 << FLOAT_BITS) - 1
+                corrupted = bits_to_float(float_to_bits(result) ^ mask)
+                return corrupted, start, f"burst={width}"
+        else:
+            def corrupt(result):
+                start = rng.randrange(INT_BITS)
+                width = MIN_BURST + rng.randrange(MAX_BURST - MIN_BURST + 1)
+                mask = ((1 << width) - 1) << start
+                mask &= (1 << INT_BITS) - 1
+                corrupted = bits_to_int(int_to_bits(result) ^ mask)
+                return corrupted, start, f"burst={width}"
+        return corrupt

@@ -1,0 +1,179 @@
+"""Opcode-corruption model: the instruction computes the wrong function.
+
+A particle strike in the instruction register or the decoder's control
+signals does not perturb a result word — it makes the datapath execute a
+*different operation* on the same operands.  This model keeps the
+control-bit site set (dynamic occurrences of mode-exposed instructions)
+but replaces the fired instruction outright: the victim operation is not
+executed at the fired occurrence (``consumes_result = False`` — it was
+never decoded, so neither its result nor its faults exist), and a
+**substituted same-format operation** computes the written-back result
+from the same source values:
+
+* integer register-register ALU ops substitute within the side-effect-free
+  integer ALU pool (``DIV``/``REM`` victims are substituted too, but are
+  never chosen *as* substitutes, so opcode corruption itself cannot raise
+  a division fault);
+* integer register-immediate ops substitute within the immediate ALU pool;
+* float arithmetic substitutes within the float binary/unary pools, and
+  float comparisons within the comparison pool;
+* operations with no same-format sibling (loads, ``LI``/``FLI``/``LA``,
+  conversions, call linkage) take the *random word* fallback: the result's
+  whole bit pattern is replaced by a uniform random word, modelling an
+  operation whose output bears no relation to the intended one.
+
+Corruption draws one value from the plan's generator per fired event: the
+substitute index (uniform over the pool minus the victim) or the random
+replacement word.
+
+Fork compatibility: same site stream as the control-bit model, so forked
+runs resume from the run mode's exposed counter grid.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Tuple
+
+from ...isa import Opcode
+from ...isa.encoding import FLOAT_BITS, INT_BITS, bits_to_float, bits_to_int
+from .base import Corruptor
+from .control import ControlBitModel
+
+
+def _w(value: int) -> int:
+    """Wrap to signed 32-bit (the decode engine's branchless formula)."""
+    return ((value + 0x80000000) & 0xFFFFFFFF) - 0x80000000
+
+
+#: Integer register-register substitutes: ``f(rs1, rs2) -> wrapped int``.
+#: Deterministic order matters — the substitute draw indexes this list.
+INT_RR_POOL: List[Tuple[Opcode, Callable[[int, int], int]]] = [
+    (Opcode.ADD, lambda a, b: _w(a + b)),
+    (Opcode.SUB, lambda a, b: _w(a - b)),
+    (Opcode.MUL, lambda a, b: _w(a * b)),
+    (Opcode.AND, lambda a, b: a & b),
+    (Opcode.OR, lambda a, b: a | b),
+    (Opcode.XOR, lambda a, b: a ^ b),
+    (Opcode.NOR, lambda a, b: _w(~(a | b))),
+    (Opcode.SLL, lambda a, b: _w(a << (b & 31))),
+    (Opcode.SRL, lambda a, b: _w((a & 0xFFFFFFFF) >> (b & 31))),
+    (Opcode.SRA, lambda a, b: _w(a >> (b & 31))),
+    (Opcode.SLT, lambda a, b: 1 if a < b else 0),
+    (Opcode.SLE, lambda a, b: 1 if a <= b else 0),
+    (Opcode.SEQ, lambda a, b: 1 if a == b else 0),
+    (Opcode.SNE, lambda a, b: 1 if a != b else 0),
+]
+
+#: Integer register-immediate substitutes: ``f(rs1, imm) -> wrapped int``.
+INT_RI_POOL: List[Tuple[Opcode, Callable[[int, int], int]]] = [
+    (Opcode.ADDI, lambda a, imm: _w(a + imm)),
+    (Opcode.ANDI, lambda a, imm: a & imm),
+    (Opcode.ORI, lambda a, imm: a | imm),
+    (Opcode.XORI, lambda a, imm: a ^ imm),
+    (Opcode.SLLI, lambda a, imm: _w(a << (imm & 31))),
+    (Opcode.SRLI, lambda a, imm: _w((a & 0xFFFFFFFF) >> (imm & 31))),
+    (Opcode.SRAI, lambda a, imm: _w(a >> (imm & 31))),
+    (Opcode.SLTI, lambda a, imm: 1 if a < imm else 0),
+]
+
+#: Float binary substitutes: ``f(fs1, fs2) -> float``.
+FLOAT_RR_POOL: List[Tuple[Opcode, Callable[[float, float], float]]] = [
+    (Opcode.FADD, lambda a, b: a + b),
+    (Opcode.FSUB, lambda a, b: a - b),
+    (Opcode.FMUL, lambda a, b: a * b),
+    (Opcode.FMIN, lambda a, b: min(a, b)),
+    (Opcode.FMAX, lambda a, b: max(a, b)),
+]
+
+#: Float unary substitutes: ``f(fs1) -> float``.
+FLOAT_UN_POOL: List[Tuple[Opcode, Callable[[float], float]]] = [
+    (Opcode.FNEG, lambda a: -a),
+    (Opcode.FABS, lambda a: abs(a)),
+    (Opcode.FSQRT, lambda a: math.sqrt(a) if a >= 0.0 else float("nan")),
+]
+
+#: Float comparison substitutes: ``f(fs1, fs2) -> 0 | 1`` (int result).
+FLOAT_CMP_POOL: List[Tuple[Opcode, Callable[[float, float], int]]] = [
+    (Opcode.FEQ, lambda a, b: 1 if a == b else 0),
+    (Opcode.FLT, lambda a, b: 1 if a < b else 0),
+    (Opcode.FLE, lambda a, b: 1 if a <= b else 0),
+]
+
+#: Victims routed to each pool (victims may sit outside the pool — e.g.
+#: ``DIV`` substitutes from the side-effect-free integer pool).
+_POOL_FOR_VICTIM = {}
+for _op, _fn in INT_RR_POOL:
+    _POOL_FOR_VICTIM[_op] = INT_RR_POOL
+_POOL_FOR_VICTIM[Opcode.DIV] = INT_RR_POOL
+_POOL_FOR_VICTIM[Opcode.REM] = INT_RR_POOL
+for _op, _fn in INT_RI_POOL:
+    _POOL_FOR_VICTIM[_op] = INT_RI_POOL
+for _op, _fn in FLOAT_RR_POOL:
+    _POOL_FOR_VICTIM[_op] = FLOAT_RR_POOL
+_POOL_FOR_VICTIM[Opcode.FDIV] = FLOAT_RR_POOL
+for _op, _fn in FLOAT_UN_POOL:
+    _POOL_FOR_VICTIM[_op] = FLOAT_UN_POOL
+for _op, _fn in FLOAT_CMP_POOL:
+    _POOL_FOR_VICTIM[_op] = FLOAT_CMP_POOL
+
+#: Pools whose functions read two float sources.
+_TWO_FLOAT_POOLS = (FLOAT_RR_POOL, FLOAT_CMP_POOL)
+
+
+class OpcodeModel(ControlBitModel):
+    """Same-format operation substitution (corrupted decoder/instruction)."""
+
+    name = "opcode"
+    supports_fork = True
+    #: The victim operation is replaced, not post-processed: it must not
+    #: execute (or fault) at a fired occurrence.
+    consumes_result = False
+    summary = ("the fired instruction executes a substituted same-format "
+               "operation on its operands (random word when no sibling "
+               "operation exists)")
+
+    def make_corruptor(self, op, spec, machine, is_float: bool,
+                       plan) -> Corruptor:
+        """Recompute the result under a drawn substitute operation."""
+        rng = plan.rng
+        pool = _POOL_FOR_VICTIM.get(op)
+        if pool is None:
+            # No same-format sibling: uniform random replacement word.
+            if is_float:
+                def corrupt(result):
+                    corrupted = bits_to_float(rng.getrandbits(FLOAT_BITS))
+                    return corrupted, -1, "random-word"
+            else:
+                def corrupt(result):
+                    corrupted = bits_to_int(rng.getrandbits(INT_BITS))
+                    return corrupted, -1, "random-word"
+            return corrupt
+
+        substitutes = [(name, fn) for name, fn in pool if name is not op]
+        _, _, a, b, imm, _, _ = spec
+        if pool is INT_RR_POOL:
+            regs = machine.int_regs
+
+            def corrupt(result):
+                name, fn = substitutes[rng.randrange(len(substitutes))]
+                return fn(regs[a], regs[b]), -1, f"op={name.name}"
+        elif pool is INT_RI_POOL:
+            regs = machine.int_regs
+
+            def corrupt(result):
+                name, fn = substitutes[rng.randrange(len(substitutes))]
+                return fn(regs[a], imm), -1, f"op={name.name}"
+        elif pool in _TWO_FLOAT_POOLS:
+            fregs = machine.float_regs
+
+            def corrupt(result):
+                name, fn = substitutes[rng.randrange(len(substitutes))]
+                return fn(fregs[a], fregs[b]), -1, f"op={name.name}"
+        else:  # FLOAT_UN_POOL
+            fregs = machine.float_regs
+
+            def corrupt(result):
+                name, fn = substitutes[rng.randrange(len(substitutes))]
+                return fn(fregs[a]), -1, f"op={name.name}"
+        return corrupt

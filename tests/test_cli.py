@@ -1,0 +1,115 @@
+"""Smoke and end-to-end tests of the ``python -m repro`` CLI.
+
+The end-to-end case is the ISSUE 4 acceptance scenario: a ``sweep
+--model data-bit`` mini-grid must produce byte-identical stores on the
+serial and process-pool executors, and later commands must pick the
+model up from the store's metadata without re-specifying it.
+"""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.core import ShardStore
+
+SMOKE_COMMANDS = ["sweep", "status", "tables", "figures", "worker"]
+
+
+def store_bytes(root):
+    """Relative path -> file bytes for every file under ``root``."""
+    store = ShardStore(root)
+    return {
+        str(path.relative_to(store.root)): path.read_bytes()
+        for path in sorted(store.root.rglob("*")) if path.is_file()
+    }
+
+
+class TestHelpSmoke:
+    def test_top_level_help(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for command in SMOKE_COMMANDS:
+            assert command in out
+
+    @pytest.mark.parametrize("command", SMOKE_COMMANDS)
+    def test_subcommand_help(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([command, "--help"])
+        assert excinfo.value.code == 0
+        assert command in capsys.readouterr().out
+
+    @pytest.mark.parametrize("command", ["sweep", "status", "tables", "figures"])
+    def test_grid_commands_document_the_model_flag(self, command, capsys):
+        with pytest.raises(SystemExit):
+            main([command, "--help"])
+        out = capsys.readouterr().out
+        assert "--model" in out
+        assert "control-bit" in out
+
+    def test_unknown_command_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["frobnicate"])
+        assert excinfo.value.code != 0
+
+    def test_build_parser_is_reusable(self):
+        parser = build_parser()
+        args = parser.parse_args(["sweep", "--store", "x",
+                                  "--model", "multi-bit"])
+        assert args.model == "multi-bit"
+
+
+MINI_GRID = ["--suite", "small", "--runs", "3", "--base-seed", "11",
+             "--apps", "adpcm", "--errors", "0", "2", "--no-table2-points"]
+
+
+class TestSweepModelEndToEnd:
+    def test_data_bit_sweep_serial_vs_pool_byte_identical(self, tmp_path,
+                                                          capsys):
+        serial_root = tmp_path / "serial"
+        pool_root = tmp_path / "pool"
+        assert main(["sweep", "--store", str(serial_root),
+                     "--model", "data-bit", *MINI_GRID]) == 0
+        assert main(["sweep", "--store", str(pool_root),
+                     "--model", "data-bit", "--executor", "pool",
+                     "--parallel", "2", *MINI_GRID]) == 0
+        capsys.readouterr()  # drop progress output
+        assert store_bytes(serial_root) == store_bytes(pool_root)
+        # Shards are filed under the model-qualified name and the meta
+        # pins the model.
+        store = ShardStore(serial_root, model="data-bit")
+        assert store.read_meta()["model"] == "data-bit"
+        names = [shard[3].name for shard in store.shards()]
+        assert names and all(name.endswith("@data-bit.jsonl")
+                             for name in names)
+
+    def test_status_reads_model_from_meta(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        assert main(["sweep", "--store", str(root), "--model", "data-bit",
+                     *MINI_GRID]) == 0
+        capsys.readouterr()
+        # No --model flag: status must resolve data-bit from meta.json and
+        # find the swept cells' records (a wrong model would look at the
+        # unqualified shard names and report everything missing).
+        assert main(["status", "--store", str(root), *MINI_GRID]) == 0
+        assert "cells complete" in capsys.readouterr().out
+
+    def test_table4_cross_model_breakdown(self, tmp_path, capsys):
+        assert main(["tables", "--store", str(tmp_path / "unused"),
+                     "--tables", "4", "--runs", "2", "--apps", "adpcm",
+                     "--models", "control-bit", "memory-bit",
+                     "--model-errors", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out
+        assert "memory-bit" in out and "control-bit" in out
+
+    def test_resuming_under_another_model_is_refused(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        assert main(["sweep", "--store", str(root), "--model", "data-bit",
+                     *MINI_GRID]) == 0
+        # An explicit different model must hit the meta pin, not silently
+        # mix records.
+        assert main(["sweep", "--store", str(root), "--model", "control-bit",
+                     *MINI_GRID]) == 1
+        captured = capsys.readouterr()
+        assert "refusing to resume" in captured.err
