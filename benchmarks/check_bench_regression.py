@@ -104,6 +104,15 @@ def check_campaign(tolerance: float) -> int:
     return 0
 
 
+#: The pytest invocation that (re)generates each gated BENCH report.
+#: The reports are build artifacts — gitignored, never committed — so a
+#: missing file means "run the benchmarks first", not a repo bug.
+BENCH_SOURCES = {
+    INTERP_BENCH_PATH: "python -m pytest benchmarks/test_perf_interpreter.py -q -s",
+    CAMPAIGN_BENCH_PATH: "python -m pytest benchmarks/test_perf_campaign.py -q -s",
+}
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--tolerance", type=float, default=0.5,
@@ -113,8 +122,10 @@ def main() -> int:
     for path, check in ((INTERP_BENCH_PATH, check_interp),
                         (CAMPAIGN_BENCH_PATH, check_campaign)):
         if not path.exists():
-            print(f"missing {path}; run the matching benchmark first",
-                  file=sys.stderr)
+            print(f"{path.name} not found: the BENCH reports are generated "
+                  f"(and gitignored), so run the benchmarks first:\n"
+                  f"    {BENCH_SOURCES[path]}\n"
+                  f"then re-run this gate.", file=sys.stderr)
             return 2
         status = max(status, check(args.tolerance))
     if status == 0:

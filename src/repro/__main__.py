@@ -29,7 +29,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .core import CampaignConfig, ShardStore
+from .core import CampaignConfig, ShardStore, StoppingRule
 from .core.store import MissingCellError
 from .experiments import (
     ALL_FIGURES,
@@ -60,8 +60,12 @@ def _experiment_config(args, store: Optional[ShardStore] = None) -> ExperimentCo
              else (meta or {}).get("suite", "small"))
     # `is not None`, not truthiness: an explicit `--runs 0` must reach
     # CampaignConfig validation, not silently fall back to the default.
+    # Adaptive stores pin no exact runs_per_cell; their run *floor* is the
+    # per-cell minimum every complete cell satisfies, which is what the
+    # tables/figures completeness check (`expect_runs`) needs.
     runs = (args.runs if args.runs is not None
-            else (meta or {}).get("runs_per_cell", 8))
+            else (meta or {}).get("runs_per_cell",
+                                  (meta or {}).get("run_floor", 8)))
     base_seed = (args.base_seed if args.base_seed is not None
                  else (meta or {}).get("base_seed", 2006))
     model = (args.model if getattr(args, "model", None) is not None
@@ -116,10 +120,53 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
                              "See docs/FAULT_MODELS.md.")
 
 
+def _stopping_rule(args, store: ShardStore) -> Optional[StoppingRule]:
+    """The adaptive stopping rule the command runs under, if any.
+
+    Adaptive mode engages when the user asks for it (``--adaptive`` or
+    any adaptive flag) *or* the store's ``meta.json`` already pins a
+    rule — so ``status`` and a flagless resume of an adaptive sweep do
+    the right thing without re-specifying parameters.  Explicit flags
+    win over the meta; a genuinely different rule is then refused by the
+    meta pin when the sweep tries to write.
+    """
+    meta = (store.read_meta() if store is not None else None) or {}
+    meta_rule = store.stopping_rule() if store is not None else None
+    ci_width = getattr(args, "ci_width", None)
+    min_runs = getattr(args, "min_runs", None)
+    max_runs = getattr(args, "max_runs", None)
+    confidence = getattr(args, "confidence", None)
+    flagged = (getattr(args, "adaptive", False)
+               or any(value is not None
+                      for value in (ci_width, min_runs, max_runs, confidence)))
+    if not flagged:
+        # Flagless invocation: the store's meta is authoritative — an
+        # adaptive store resumes its pinned rule, anything else is fixed.
+        return meta_rule
+    # Only pass what the user or the meta actually specified: the
+    # StoppingRule dataclass owns the defaults, so a fresh `--adaptive`
+    # with no values cannot drift from StoppingRule() used elsewhere.
+    kwargs = {}
+    for field, flag_value, meta_key in (("ci_width", ci_width, "ci_width"),
+                                        ("floor", min_runs, "run_floor"),
+                                        ("cap", max_runs, "run_cap"),
+                                        ("confidence", confidence,
+                                         "confidence")):
+        value = flag_value if flag_value is not None else meta.get(meta_key)
+        if value is not None:
+            kwargs[field] = value
+    return StoppingRule(**kwargs)
+
+
 def _make_orchestrator(args, progress=None) -> SweepOrchestrator:
     store, config = _open_store(args)
+    stopping = _stopping_rule(args, store)
+    # CampaignConfig.runs feeds the auto executor resolution (a pool only
+    # engages for cells of >= parallel_threshold runs).  Adaptive cells
+    # can grow to the rule's cap, so the cap — not the fixed-mode default
+    # — is the honest cell size to resolve `--parallel` against.
     campaign = CampaignConfig(
-        runs=config.runs_per_cell,
+        runs=stopping.cap if stopping is not None else config.runs_per_cell,
         base_seed=config.base_seed,
         parallel=getattr(args, "parallel", 1),
         engine=getattr(args, "engine", "fork"),
@@ -132,37 +179,75 @@ def _make_orchestrator(args, progress=None) -> SweepOrchestrator:
     return SweepOrchestrator(
         store, config, campaign=campaign, apps=args.apps, modes=modes,
         errors_axis=args.errors, include_table2=not args.no_table2_points,
-        chunk_size=getattr(args, "chunk_size", 16), progress=progress,
+        chunk_size=getattr(args, "chunk_size", 16),
+        stopping=stopping, progress=progress,
     )
+
+
+def _refuse_runs_under_adaptive(args, adaptive: bool) -> bool:
+    """True (after printing the error) when ``--runs`` meets adaptive mode.
+
+    Adaptive cell sizes come from the stopping rule; silently ignoring an
+    explicit ``--runs`` would let the user believe they fixed (or queried
+    progress toward) a cell size when they did not — and feeding it into
+    the artefact commands' completeness check would reject converged
+    cells with a "resume the sweep" hint that can never succeed.
+    """
+    if adaptive and args.runs is not None:
+        print("error: --runs conflicts with an adaptive store (the pinned "
+              "stopping rule sizes each cell); drop --runs (sweep takes "
+              "--min-runs/--max-runs instead)",
+              file=sys.stderr)
+        return True
+    return False
 
 
 def _cmd_sweep(args) -> int:
     orchestrator = _make_orchestrator(
         args, progress=lambda message: print(message, flush=True))
+    if _refuse_runs_under_adaptive(args, orchestrator.stopping is not None):
+        return 2
     report = orchestrator.run()
     complete = sum(1 for status in report.statuses if status.complete)
+    discarded = (f", {report.runs_discarded} past convergence discarded"
+                 if report.runs_discarded else "")
     print(f"sweep: {report.runs_executed} runs executed, "
-          f"{report.runs_reused} reused from store; "
+          f"{report.runs_reused} reused from store{discarded}; "
           f"{complete}/{report.cells_total} cells complete")
     return 0 if complete == report.cells_total else 1
 
 
 def _cmd_status(args) -> int:
     orchestrator = _make_orchestrator(args)
+    if _refuse_runs_under_adaptive(args, orchestrator.stopping is not None):
+        return 2
     statuses = orchestrator.status()
+    adaptive = orchestrator.stopping is not None
     done_cells = 0
     for status in statuses:
         cell = status.cell
         marker = "done" if status.complete else "...."
         done_cells += status.complete
-        print(f"  [{marker}] {cell.app_name:10s} {cell.mode.value:12s} "
-              f"e={cell.errors:<6d} {status.done}/{status.total}")
+        line = (f"  [{marker}] {cell.app_name:10s} {cell.mode.value:12s} "
+                f"e={cell.errors:<6d} {status.done}/{status.total}")
+        if adaptive:
+            width = ("±?" if status.ci_half_width is None
+                     else f"±{status.ci_half_width:.2f}")
+            line += f"  failure CI {width}"
+        print(line)
+    if adaptive:
+        rule = orchestrator.stopping
+        print(f"adaptive: target CI ±{rule.ci_width:g} pp at "
+              f"{100 * rule.confidence:g}% confidence, "
+              f"{rule.floor}..{rule.cap} runs/cell")
     print(f"{done_cells}/{len(statuses)} cells complete")
     return 0 if done_cells == len(statuses) else 1
 
 
 def _cmd_tables(args) -> int:
     store, config = _open_store(args)
+    if _refuse_runs_under_adaptive(args, store.stopping_rule() is not None):
+        return 2
     selected = args.tables or [1, 2, 3]
     for number in selected:
         if number == 1:
@@ -196,6 +281,8 @@ def _print_cli_error(error: Exception) -> int:
 
 def _cmd_figures(args) -> int:
     store, config = _open_store(args)
+    if _refuse_runs_under_adaptive(args, store.stopping_rule() is not None):
+        return 2
     selected = args.figures or sorted(ALL_FIGURES)
     for name in selected:
         builder = ALL_FIGURES.get(name)
@@ -233,12 +320,40 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--parallel", type=int, default=1,
                        help="local process-pool width (default 1)")
     sweep.add_argument("--workers", nargs="*", default=None, metavar="HOST:PORT",
-                       help="socket-executor worker addresses")
+                       help="socket-executor worker addresses (bracket IPv6 "
+                            "hosts: '[::1]:7006')")
     sweep.add_argument("--engine", default="fork",
                        choices=["fork", "decoded", "reference"],
                        help="simulation engine (default fork)")
     sweep.add_argument("--chunk-size", type=int, default=16,
                        help="runs persisted per store append (default 16)")
+    adaptive = sweep.add_argument_group(
+        "adaptive sampling",
+        "Spend runs per cell until the failure-rate and acceptable-rate "
+        "Wilson intervals converge instead of using a fixed --runs; the "
+        "store's meta.json pins the rule, so resuming an adaptive store "
+        "needs no flags at all.  See docs/ARCHITECTURE.md.")
+    adaptive.add_argument("--adaptive", action="store_true",
+                          help="plan each cell adaptively with the "
+                               "sequential stopping rule")
+    adaptive.add_argument("--ci-width", type=float, default=None,
+                          metavar="PP",
+                          help="target CI half-width in percentage points "
+                               "(default: store meta or 2.5; implies "
+                               "--adaptive)")
+    adaptive.add_argument("--min-runs", type=int, default=None, metavar="N",
+                          help="run floor per cell before the rule may stop "
+                               "(default: store meta or 8; implies "
+                               "--adaptive)")
+    adaptive.add_argument("--max-runs", type=int, default=None, metavar="N",
+                          help="run cap per cell, converged or not "
+                               "(default: store meta or 64; implies "
+                               "--adaptive)")
+    adaptive.add_argument("--confidence", type=float, default=None,
+                          metavar="C",
+                          help="two-sided confidence level of the monitored "
+                               "intervals (default: store meta or 0.95; "
+                               "implies --adaptive)")
     sweep.set_defaults(handler=_cmd_sweep)
 
     status = commands.add_parser(

@@ -10,10 +10,20 @@ from .campaign import (
 from .fidelity import FidelityMeasure, FidelityResult
 from .outcomes import CampaignResult, RunRecord, SweepResult
 from .report import FigureData, Series, TableData, format_table
+from .stats import (
+    ConfidenceInterval,
+    StoppingRule,
+    t_interval,
+    wilson_interval,
+)
 from .store import MissingCellError, ShardStore, StoreMismatchError
 
 __all__ = [
     "CampaignConfig",
+    "ConfidenceInterval",
+    "StoppingRule",
+    "t_interval",
+    "wilson_interval",
     "CampaignResult",
     "CampaignRunner",
     "ENGINE_NAMES",

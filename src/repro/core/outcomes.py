@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 
 from ..sim import Outcome, ProtectionMode
 from .fidelity import FidelityResult
+from .stats import ConfidenceInterval, t_interval, wilson_interval
 
 
 @dataclass
@@ -45,6 +46,15 @@ class RunRecord:
     @property
     def completed(self) -> bool:
         return self.outcome == Outcome.COMPLETED
+
+    @property
+    def is_acceptable(self) -> bool:
+        """Completed with fidelity within the application's threshold.
+
+        The single definition of "acceptable" shared by the aggregation
+        properties and the adaptive stopping rule's convergence counts.
+        """
+        return self.fidelity is not None and self.fidelity.acceptable
 
     def to_json(self) -> Dict:
         """Plain-dict form for the JSONL shard store.
@@ -142,6 +152,17 @@ class CampaignResult:
     def catastrophic_runs(self) -> int:
         return self.crash_runs + self.hang_runs
 
+    @property
+    def acceptable_runs(self) -> int:
+        return sum(1 for record in self.records if record.is_acceptable)
+
+    @property
+    def perfect_runs(self) -> int:
+        return sum(
+            1 for record in self.records
+            if record.fidelity is not None and record.fidelity.perfect
+        )
+
     # ------------------------------------------------------------------
     # Rates (all in percent, matching the paper's tables/figures).
     # ------------------------------------------------------------------
@@ -170,19 +191,49 @@ class CampaignResult:
     @property
     def acceptable_percent(self) -> float:
         """Percent of all runs that completed with acceptable fidelity."""
-        acceptable = sum(
-            1 for record in self.records
-            if record.fidelity is not None and record.fidelity.acceptable
-        )
-        return self._percent(acceptable)
+        return self._percent(self.acceptable_runs)
 
     @property
     def perfect_percent(self) -> float:
-        perfect = sum(
-            1 for record in self.records
-            if record.fidelity is not None and record.fidelity.perfect
-        )
-        return self._percent(perfect)
+        return self._percent(self.perfect_runs)
+
+    # ------------------------------------------------------------------
+    # Confidence intervals (see repro.core.stats).
+    # ------------------------------------------------------------------
+    def _rate_ci(self, count: int,
+                 confidence: float) -> Optional[ConfidenceInterval]:
+        """Wilson interval (percent) on a run count; ``None`` if no runs."""
+        if not self.records:
+            return None
+        return wilson_interval(count, len(self.records), confidence)
+
+    def failure_ci(self, confidence: float = 0.95) -> Optional[ConfidenceInterval]:
+        """Wilson interval around :attr:`failure_percent`."""
+        return self._rate_ci(self.catastrophic_runs, confidence)
+
+    def crash_ci(self, confidence: float = 0.95) -> Optional[ConfidenceInterval]:
+        """Wilson interval around :attr:`crash_percent`."""
+        return self._rate_ci(self.crash_runs, confidence)
+
+    def hang_ci(self, confidence: float = 0.95) -> Optional[ConfidenceInterval]:
+        """Wilson interval around :attr:`hang_percent`."""
+        return self._rate_ci(self.hang_runs, confidence)
+
+    def completed_ci(self, confidence: float = 0.95) -> Optional[ConfidenceInterval]:
+        """Wilson interval around :attr:`completed_percent`."""
+        return self._rate_ci(self.completed_runs, confidence)
+
+    def acceptable_ci(self, confidence: float = 0.95) -> Optional[ConfidenceInterval]:
+        """Wilson interval around :attr:`acceptable_percent`."""
+        return self._rate_ci(self.acceptable_runs, confidence)
+
+    def mean_fidelity_ci(self, confidence: float = 0.95) -> Optional[ConfidenceInterval]:
+        """Student-t interval around :attr:`mean_fidelity`.
+
+        ``None`` when fewer than two runs completed with a fidelity
+        score — a single sample has no estimable variance.
+        """
+        return t_interval(self.fidelity_scores(), confidence)
 
     # ------------------------------------------------------------------
     # Fidelity aggregation.
@@ -219,16 +270,34 @@ class CampaignResult:
         ]
         return fmean(values) if values else None
 
-    def summary(self) -> Dict[str, float]:
-        """Flat numeric summary used by reports and benchmarks."""
+    def summary(self) -> Dict[str, Optional[float]]:
+        """Flat numeric summary used by reports and benchmarks.
+
+        JSON-safe: every value is a float or ``None`` — never NaN, which
+        ``json.dumps`` would serialise as the non-standard literal
+        ``NaN`` and break strict JSON consumers.  Unavailable statistics
+        (mean fidelity of a cell with no completed runs, the ``*_moe``
+        margins of an empty cell) are ``None``; renderers show them as
+        ``-`` (:func:`~repro.core.report.format_cell`).
+        """
+        failure_ci = self.failure_ci()
+        acceptable_ci = self.acceptable_ci()
+        fidelity_ci = self.mean_fidelity_ci()
         return {
             "errors": float(self.errors_requested),
             "runs": float(self.total_runs),
             "failures_pct": self.failure_percent,
             "crash_pct": self.crash_percent,
             "hang_pct": self.hang_percent,
-            "mean_fidelity": self.mean_fidelity if self.mean_fidelity is not None else float("nan"),
+            "mean_fidelity": self.mean_fidelity,
             "acceptable_pct": self.acceptable_percent,
+            # 95% margins of error (CI half-widths) on the estimates above.
+            "failures_pct_moe": (failure_ci.half_width
+                                 if failure_ci is not None else None),
+            "acceptable_pct_moe": (acceptable_ci.half_width
+                                   if acceptable_ci is not None else None),
+            "mean_fidelity_moe": (fidelity_ci.half_width
+                                  if fidelity_ci is not None else None),
         }
 
 
@@ -248,6 +317,20 @@ class SweepResult:
 
     def fidelity_series(self) -> List[Optional[float]]:
         return [cell.mean_fidelity for cell in self.cells]
+
+    def failure_error_series(self,
+                             confidence: float = 0.95) -> List[Optional[float]]:
+        """Per-cell CI half-widths matching :meth:`failure_series`."""
+        intervals = [cell.failure_ci(confidence) for cell in self.cells]
+        return [interval.half_width if interval is not None else None
+                for interval in intervals]
+
+    def fidelity_error_series(self,
+                              confidence: float = 0.95) -> List[Optional[float]]:
+        """Per-cell CI half-widths matching :meth:`fidelity_series`."""
+        intervals = [cell.mean_fidelity_ci(confidence) for cell in self.cells]
+        return [interval.half_width if interval is not None else None
+                for interval in intervals]
 
     def cell(self, errors: int) -> CampaignResult:
         for candidate in self.cells:

@@ -23,6 +23,13 @@ def format_cell(value, precision: int = 2) -> str:
     return str(value)
 
 
+def format_cell_with_error(value, error, precision: int = 2) -> str:
+    """Render ``value ±error``; a missing error falls back to the bare value."""
+    if value is None or error is None:
+        return format_cell(value, precision)
+    return f"{format_cell(value, precision)} ±{format_cell(error, precision)}"
+
+
 def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "",
                  precision: int = 2) -> str:
     """Render a fixed-width text table."""
@@ -47,10 +54,16 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = 
 
 @dataclass
 class Series:
-    """One plotted curve of a figure."""
+    """One plotted curve of a figure.
+
+    ``error_values`` are optional symmetric error bars (confidence-interval
+    half-widths) aligned with ``values``; the text renderer shows them as
+    ``value ±error``.
+    """
 
     label: str
     values: List[Optional[float]]
+    error_values: Optional[List[Optional[float]]] = None
 
 
 @dataclass
@@ -63,8 +76,12 @@ class FigureData:
     series: List[Series] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
 
-    def add_series(self, label: str, values: Sequence[Optional[float]]) -> None:
-        self.series.append(Series(label=label, values=list(values)))
+    def add_series(self, label: str, values: Sequence[Optional[float]],
+                   errors: Optional[Sequence[Optional[float]]] = None) -> None:
+        self.series.append(Series(
+            label=label, values=list(values),
+            error_values=list(errors) if errors is not None else None,
+        ))
 
     def to_table(self, precision: int = 2) -> str:
         headers = [self.x_label] + [series.label for series in self.series]
@@ -72,7 +89,16 @@ class FigureData:
         for index, x in enumerate(self.x_values):
             row = [x]
             for series in self.series:
-                row.append(series.values[index] if index < len(series.values) else None)
+                value = (series.values[index]
+                         if index < len(series.values) else None)
+                if series.error_values is not None:
+                    error = (series.error_values[index]
+                             if index < len(series.error_values) else None)
+                    # Pre-render "value ±error" so the error bar shares the
+                    # series' column instead of needing one of its own.
+                    row.append(format_cell_with_error(value, error, precision))
+                else:
+                    row.append(value)
             rows.append(row)
         text = format_table(headers, rows, title=self.title, precision=precision)
         if self.notes:

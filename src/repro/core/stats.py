@@ -1,0 +1,367 @@
+"""Statistical confidence machinery for campaign estimates.
+
+Every headline number the reproduction reports — Table 2's "% failed
+executions", the figures' failure and fidelity series — is an estimate
+from a finite sample of injection runs.  This module quantifies the
+sampling noise on those estimates and drives the adaptive sweep's
+decision to stop sampling a cell:
+
+* :func:`wilson_interval` — Wilson-score confidence interval for an
+  outcome *rate* (a binomial proportion, reported in percent).  Unlike
+  the naive normal ("Wald") interval it stays inside ``[0, 100]`` and
+  behaves sanely at 0/n and n/n, which campaign cells hit constantly
+  (a protected cell with zero failures is the paper's whole point).
+* :func:`t_interval` — Student-t confidence interval for a *mean*
+  (mean fidelity across completed runs).
+* :class:`StoppingRule` — the sequential stopping rule of the adaptive
+  sweep: keep appending runs to a cell until the failure-rate and
+  acceptable-rate intervals are narrower than a target half-width,
+  subject to a floor and a cap on the run count.
+
+Everything is pure ``math``-module Python (no scipy): the normal
+quantile uses Acklam's rational approximation polished to full double
+precision with Halley steps on :func:`math.erfc`, and the Student-t
+quantile inverts the exact t CDF (regularised incomplete beta via a
+Lentz continued fraction) by bisection.  Both are unit-tested against
+textbook table values in ``tests/test_stats.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import exp, lgamma, log, pi, sqrt
+from typing import Dict, Optional, Sequence
+
+__all__ = [
+    "ConfidenceInterval",
+    "StoppingRule",
+    "normal_quantile",
+    "student_t_quantile",
+    "t_interval",
+    "wilson_interval",
+]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a two-sided confidence interval around it."""
+
+    point: float
+    low: float
+    high: float
+    #: Two-sided confidence level, e.g. ``0.95``.
+    confidence: float = 0.95
+
+    @property
+    def half_width(self) -> float:
+        """Half the interval's width — the ``±`` the reports render."""
+        return (self.high - self.low) / 2.0
+
+    def as_json(self) -> Dict[str, float]:
+        """Plain-dict form for JSON reports (all values are floats)."""
+        return {"point": self.point, "low": self.low, "high": self.high,
+                "confidence": self.confidence}
+
+    def __str__(self) -> str:
+        return f"{self.point:.2f} ±{self.half_width:.2f}"
+
+
+# ----------------------------------------------------------------------
+# Normal quantile (inverse standard-normal CDF).
+# ----------------------------------------------------------------------
+
+# Coefficients of Acklam's rational approximation to the inverse normal
+# CDF (relative error < 1.15e-9 over (0, 1); the Halley refinement below
+# takes the result to full double precision).
+_ACKLAM_A = (-3.969683028665376e+01, 2.209460984245205e+02,
+             -2.759285104469687e+02, 1.383577518672690e+02,
+             -3.066479806614716e+01, 2.506628277459239e+00)
+_ACKLAM_B = (-5.447609879822406e+01, 1.615858368580409e+02,
+             -1.556989798598866e+02, 6.680131188771972e+01,
+             -1.328068155288572e+01)
+_ACKLAM_C = (-7.784894002430293e-03, -3.223964580411365e-01,
+             -2.400758277161838e+00, -2.549732539343734e+00,
+             4.374664141464968e+00, 2.938163982698783e+00)
+_ACKLAM_D = (7.784695709041462e-03, 3.224671290700398e-01,
+             2.445134137142996e+00, 3.754408661907416e+00)
+_ACKLAM_LOW = 0.02425
+
+
+def _normal_cdf(x: float) -> float:
+    from math import erfc
+
+    return 0.5 * erfc(-x / sqrt(2.0))
+
+
+def normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF: the z with ``Phi(z) == p``.
+
+    ``normal_quantile(0.975)`` is the familiar ``1.95996...`` of a 95%
+    two-sided interval.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"normal_quantile needs 0 < p < 1, got {p}")
+    a, b, c, d = _ACKLAM_A, _ACKLAM_B, _ACKLAM_C, _ACKLAM_D
+    if p < _ACKLAM_LOW:
+        q = sqrt(-2.0 * log(p))
+        x = ((((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+              + c[5])
+             / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0))
+    elif p <= 1.0 - _ACKLAM_LOW:
+        q = p - 0.5
+        r = q * q
+        x = ((((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r
+              + a[5]) * q
+             / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r
+                + 1.0))
+    else:
+        q = sqrt(-2.0 * log(1.0 - p))
+        x = -((((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+               + c[5])
+              / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0))
+    # Two Halley steps on the exact CDF: converges to the closest double.
+    for _ in range(2):
+        error = _normal_cdf(x) - p
+        density = exp(-0.5 * x * x) / sqrt(2.0 * pi)
+        if density == 0.0:
+            break
+        u = error / density
+        x -= u / (1.0 + x * u / 2.0)
+    return x
+
+
+# ----------------------------------------------------------------------
+# Student-t quantile via the regularised incomplete beta function.
+# ----------------------------------------------------------------------
+
+def _beta_continued_fraction(a: float, b: float, x: float) -> float:
+    """Lentz's continued fraction for the incomplete beta function."""
+    tiny = 1e-300
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, 300):
+        m2 = 2 * m
+        numerator = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + numerator * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + numerator / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        numerator = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + numerator * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + numerator / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 3e-16:
+            break
+    return h
+
+
+def _regularised_incomplete_beta(a: float, b: float, x: float) -> float:
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    log_front = (lgamma(a + b) - lgamma(a) - lgamma(b)
+                 + a * log(x) + b * log(1.0 - x))
+    front = exp(log_front)
+    # The continued fraction converges fast on one side of the mean;
+    # use the symmetry relation on the other.
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _beta_continued_fraction(a, b, x) / a
+    return 1.0 - front * _beta_continued_fraction(b, a, 1.0 - x) / b
+
+
+def _t_cdf(t: float, df: int) -> float:
+    tail = 0.5 * _regularised_incomplete_beta(df / 2.0, 0.5,
+                                              df / (df + t * t))
+    return 1.0 - tail if t >= 0.0 else tail
+
+
+def student_t_quantile(p: float, df: int) -> float:
+    """Inverse Student-t CDF with ``df`` degrees of freedom.
+
+    ``student_t_quantile(0.975, 9)`` is the ``2.2621...`` a 95%
+    two-sided interval on ten samples uses.  Bisection on the exact CDF:
+    ~60 iterations reach double precision and the run counts involved
+    (one call per report/stopping decision) make speed irrelevant.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"student_t_quantile needs 0 < p < 1, got {p}")
+    if df < 1:
+        raise ValueError(f"student_t_quantile needs df >= 1, got {df}")
+    if p == 0.5:
+        return 0.0
+    if p < 0.5:
+        return -student_t_quantile(1.0 - p, df)
+    lo, hi = 0.0, 2.0
+    while _t_cdf(hi, df) < p:
+        hi *= 2.0
+        if hi > 1e12:  # pragma: no cover — p astronomically close to 1
+            break
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if mid == lo or mid == hi:
+            break
+        if _t_cdf(mid, df) < p:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+# ----------------------------------------------------------------------
+# Intervals.
+# ----------------------------------------------------------------------
+
+def wilson_interval(successes: int, total: int,
+                    confidence: float = 0.95) -> ConfidenceInterval:
+    """Wilson-score interval for a binomial rate, in **percent**.
+
+    The returned interval brackets the *true* rate given ``successes``
+    hits in ``total`` independent runs; it is always within ``[0, 100]``
+    and always contains the point estimate ``100 * successes / total``.
+    """
+    if total < 1:
+        raise ValueError(f"wilson_interval needs total >= 1, got {total}")
+    if not 0 <= successes <= total:
+        raise ValueError(
+            f"wilson_interval needs 0 <= successes <= total, "
+            f"got {successes}/{total}"
+        )
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    z = normal_quantile(0.5 + confidence / 2.0)
+    p = successes / total
+    z2_over_n = z * z / total
+    denominator = 1.0 + z2_over_n
+    center = (p + z2_over_n / 2.0) / denominator
+    margin = (z * sqrt(p * (1.0 - p) / total + z * z / (4.0 * total * total))
+              / denominator)
+    # The clamps against p keep the containment invariant (low <= point
+    # <= high) exact under floating-point rounding: at p = 1 the upper
+    # bound is mathematically exactly 1 but rounds to 0.999...9.
+    return ConfidenceInterval(
+        point=100.0 * p,
+        low=100.0 * min(p, max(0.0, center - margin)),
+        high=100.0 * max(p, min(1.0, center + margin)),
+        confidence=confidence,
+    )
+
+
+def t_interval(values: Sequence[float],
+               confidence: float = 0.95) -> Optional[ConfidenceInterval]:
+    """Student-t interval for the mean of ``values``.
+
+    Returns ``None`` for fewer than two values — a single sample has no
+    estimable variance (the callers render the missing interval as a
+    bare point estimate).
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    n = len(values)
+    if n < 2:
+        return None
+    mean = sum(values) / n
+    variance = sum((value - mean) ** 2 for value in values) / (n - 1)
+    margin = (student_t_quantile(0.5 + confidence / 2.0, n - 1)
+              * sqrt(variance / n))
+    return ConfidenceInterval(point=mean, low=mean - margin,
+                              high=mean + margin, confidence=confidence)
+
+
+# ----------------------------------------------------------------------
+# Sequential stopping rule for the adaptive sweep.
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StoppingRule:
+    """When an adaptive sweep may stop sampling a campaign cell.
+
+    A cell is *converged* once **both** monitored rates — the
+    catastrophic-failure rate and the acceptable-fidelity rate, the two
+    numbers the paper's artefacts report — have Wilson intervals with
+    half-width at most ``ci_width`` percentage points.  ``floor`` runs
+    are always taken first (a 0/2 cell has a deceptively tight interval
+    but no information), and ``cap`` bounds the spend on cells that will
+    not converge (rates near 50% at a tight target).
+
+    The rule is part of an adaptive store's identity: ``meta.json`` pins
+    all four fields, and the canonical run count of a cell is the
+    *smallest* ``n`` in ``[floor, cap]`` whose first ``n`` records
+    satisfy the rule (or ``cap``).  That count is a pure function of the
+    record stream, so adaptive stores stay byte-deterministic across
+    executor backends, interruptions and chunk sizes.
+    """
+
+    #: Target half-width of the monitored intervals, in percentage points.
+    ci_width: float = 2.5
+    #: Minimum runs per cell before the rule may stop it.
+    floor: int = 8
+    #: Maximum runs per cell, converged or not.
+    cap: int = 64
+    #: Two-sided confidence level of the monitored intervals.
+    confidence: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.ci_width <= 0.0:
+            raise ValueError(
+                f"StoppingRule.ci_width must be > 0, got {self.ci_width}"
+            )
+        if self.floor < 1:
+            raise ValueError(
+                f"StoppingRule.floor must be >= 1, got {self.floor}"
+            )
+        if self.cap < self.floor:
+            raise ValueError(
+                f"StoppingRule.cap must be >= floor ({self.floor}), "
+                f"got {self.cap}"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError(
+                f"StoppingRule.confidence must be in (0, 1), "
+                f"got {self.confidence}"
+            )
+
+    def satisfied(self, total: int, catastrophic: int,
+                  acceptable: int) -> bool:
+        """True when a cell with these counts may stop sampling."""
+        if total < self.floor:
+            return False
+        if total >= self.cap:
+            return True
+        return (
+            wilson_interval(catastrophic, total,
+                            self.confidence).half_width <= self.ci_width
+            and wilson_interval(acceptable, total,
+                                self.confidence).half_width <= self.ci_width
+        )
+
+    def satisfied_by(self, result) -> bool:
+        """:meth:`satisfied` on a :class:`~repro.core.outcomes.CampaignResult`."""
+        return self.satisfied(result.total_runs, result.catastrophic_runs,
+                              result.acceptable_runs)
+
+    def as_meta(self) -> Dict[str, float]:
+        """The fields an adaptive store's ``meta.json`` pins."""
+        return {"ci_width": self.ci_width, "run_floor": self.floor,
+                "run_cap": self.cap, "confidence": self.confidence}
+
+    @classmethod
+    def from_meta(cls, meta: Dict) -> "StoppingRule":
+        """Rebuild the rule a store's ``meta.json`` pinned."""
+        return cls(ci_width=meta["ci_width"], floor=meta["run_floor"],
+                   cap=meta["run_cap"], confidence=meta["confidence"])

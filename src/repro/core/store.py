@@ -39,6 +39,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..sim import ProtectionMode
 from .outcomes import CampaignResult, RunRecord, SweepResult
+from .stats import StoppingRule
 
 META_FILENAME = "meta.json"
 
@@ -94,6 +95,7 @@ class ShardStore:
         # empty directories behind.
         self.root = Path(root)
         self.model = model
+        self._meta_cache: Optional[Dict] = None
 
     # ------------------------------------------------------------------
     # Store metadata: guards against resuming with a mismatched grid.
@@ -104,10 +106,30 @@ class ShardStore:
         return self.root / META_FILENAME
 
     def read_meta(self) -> Optional[Dict]:
-        """The pinned campaign parameters, or ``None`` for a fresh store."""
-        if not self.meta_path.exists():
+        """The pinned campaign parameters, or ``None`` for a fresh store.
+
+        Cached per store instance after the first successful read: a
+        ``meta.json`` is written at most once in a store's lifetime, and
+        the artefact builders consult it once per cell.
+        """
+        if self._meta_cache is None:
+            if not self.meta_path.exists():
+                return None
+            self._meta_cache = json.loads(self.meta_path.read_text())
+        return dict(self._meta_cache)
+
+    def stopping_rule(self) -> Optional[StoppingRule]:
+        """The adaptive stopping rule this store pins, or ``None``.
+
+        The single owner of "is this an adaptive store?": every consumer
+        (artefact completeness checks, CLI flag conflicts, confidence
+        resolution) asks here, so the v2-adaptive schema discriminator
+        lives in exactly one place.
+        """
+        meta = self.read_meta() or {}
+        if "ci_width" not in meta:
             return None
-        return json.loads(self.meta_path.read_text())
+        return StoppingRule.from_meta(meta)
 
     def ensure_meta(self, meta: Dict) -> None:
         """Record ``meta`` on first use; refuse to resume under different
@@ -126,6 +148,7 @@ class ShardStore:
             scratch = self.meta_path.with_suffix(".json.tmp")
             scratch.write_text(json.dumps(meta, sort_keys=True, indent=2) + "\n")
             os.replace(scratch, self.meta_path)
+            self._meta_cache = dict(meta)
         elif _normalise_meta(existing) != _normalise_meta(meta):
             raise StoreMismatchError(
                 f"store {self.root} was created with {existing}; "
@@ -235,7 +258,12 @@ class ShardStore:
         Raises :class:`MissingCellError` when the cell has no records, or
         fewer than ``expect_runs`` — artefact builders pass the sweep's
         runs-per-cell so an incomplete sweep cannot silently produce
-        tables from partial data.
+        tables from partial data.  When this store's ``meta.json`` pins
+        an adaptive stopping rule, the cell must additionally *satisfy*
+        that rule: an interrupted adaptive cell can hold more than the
+        run floor while its intervals are still wider than the pinned
+        target, and rendering artefacts from it would defeat the
+        precision contract the sweep promised.
         """
         records = self.load_records(app_name, mode, errors)
         if not records:
@@ -253,6 +281,14 @@ class ShardStore:
         result = CampaignResult(app_name=app_name, mode=mode,
                                 errors_requested=errors)
         result.records.extend(records)
+        rule = self.stopping_rule()
+        if rule is not None and not rule.satisfied_by(result):
+            raise MissingCellError(
+                f"cell ({app_name}, {mode.value}, {errors} errors) is "
+                f"unconverged under the store's adaptive stopping rule "
+                f"({len(records)} runs, target CI ±{rule.ci_width:g} pp); "
+                f"resume the sweep with `python -m repro sweep`"
+            )
         return result
 
     def load_sweep(self, app_name: str, mode: ProtectionMode,

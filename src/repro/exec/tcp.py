@@ -83,13 +83,49 @@ def recv_message(sock: socket.socket) -> Optional[tuple]:
 
 
 def parse_worker_address(address: str) -> Tuple[str, int]:
-    """Parse ``"host:port"`` (host defaults to localhost for ``":port"``)."""
-    host, separator, port_text = address.rpartition(":")
-    if not separator or not port_text.isdigit():
+    """Parse ``"host:port"`` (host defaults to localhost for ``":port"``).
+
+    IPv6 hosts use the bracketed URI form — ``"[::1]:7006"`` — and the
+    brackets are stripped from the returned host, which is what
+    :func:`socket.create_connection` expects.  An unbracketed
+    multi-colon host (``"::1:7006"``) is rejected rather than guessed
+    at: every split of it is some valid IPv6 address, so silently
+    picking one would connect somewhere the user did not mean.
+    """
+    if address.startswith("["):
+        host, bracket, port_part = address[1:].partition("]")
+        if not bracket or not host or not port_part.startswith(":"):
+            raise ValueError(
+                f"invalid worker address {address!r}; expected '[host]:port'"
+            )
+        port_text = port_part[1:]
+    else:
+        host, separator, port_text = address.rpartition(":")
+        if not separator:
+            raise ValueError(
+                f"invalid worker address {address!r}; expected 'host:port'"
+            )
+        if ":" in host:
+            raise ValueError(
+                f"ambiguous worker address {address!r}; bracket IPv6 hosts "
+                f"as '[host]:port', e.g. '[::1]:7006'"
+            )
+    # Explicit ASCII-digit check: str.isdigit() alone accepts non-ASCII
+    # digits (e.g. Arabic-Indic '٧٠٠٦'), and superscripts like '²' pass
+    # isdigit() but crash int().
+    if not port_text or not all("0" <= char <= "9" for char in port_text):
         raise ValueError(
-            f"invalid worker address {address!r}; expected 'host:port'"
+            f"invalid worker address {address!r}; port must be a decimal "
+            f"number"
         )
-    return host or "127.0.0.1", int(port_text)
+    port = int(port_text)
+    if not 0 < port <= 65535:
+        # Port 0 means "any free port" to a *binding* server; as a connect
+        # target it can only fail, so reject it here with a clear message.
+        raise ValueError(
+            f"invalid worker address {address!r}; port {port} is out of range"
+        )
+    return host or "127.0.0.1", port
 
 
 class _WorkerConnection:

@@ -70,6 +70,11 @@ def serve(host: str = "127.0.0.1", port: int = 0,
     stream = banner_stream if banner_stream is not None else sys.stdout
     with socket.create_server((host, port)) as server:
         bound_host, bound_port = server.getsockname()[:2]
+        if ":" in bound_host:
+            # Advertise IPv6 hosts in the bracketed form
+            # parse_worker_address accepts — the banner is the documented
+            # way callers learn the --workers address.
+            bound_host = f"[{bound_host}]"
         print(f"repro-exec-worker listening on {bound_host}:{bound_port}",
               file=stream, flush=True)
         served = 0

@@ -43,6 +43,19 @@ class ExperimentConfig:
                               model=self.model)
 
 
+def store_confidence(store) -> float:
+    """The CI level artefacts rendered from ``store`` use.
+
+    An adaptive store pins the confidence level its stopping rule
+    converged — rendered intervals must be those intervals, so tables,
+    figures and ``status`` agree on the ``±`` of the same cell.
+    Everything else (fixed stores, live simulation, no store) reports
+    the 95% default.
+    """
+    rule = store.stopping_rule() if store is not None else None
+    return rule.confidence if rule is not None else 0.95
+
+
 def quick() -> ExperimentConfig:
     """Small workloads, few runs: smoke-testing the harness."""
     return ExperimentConfig(suite_name="small", runs_per_cell=4)

@@ -12,7 +12,10 @@ mirror what the paper plots:
 * Figure 6 (ART): % images recognised and % failed executions.
 
 All figures are returned as :class:`~repro.core.report.FigureData`, which
-renders to an aligned text table (one row per error count).
+renders to an aligned text table (one row per error count).  Failure and
+fidelity series carry symmetric error bars — Wilson-score (rates) and
+Student-t (means) 95% CI half-widths from :mod:`repro.core.stats` —
+rendered as ``value ±error``.
 """
 
 from __future__ import annotations
@@ -22,7 +25,7 @@ from typing import Optional, Sequence
 from ..core import CampaignRunner, FigureData, ShardStore
 from ..core.app import ErrorTolerantApp
 from ..sim import ProtectionMode
-from .config import ExperimentConfig, default
+from .config import ExperimentConfig, default, store_confidence
 
 
 def _sweep(app: ErrorTolerantApp, config: ExperimentConfig,
@@ -51,6 +54,7 @@ def figure1_susan(config: Optional[ExperimentConfig] = None,
                   store: Optional[ShardStore] = None) -> FigureData:
     """Susan: PSNR vs. injected errors, static analysis ON vs. OFF."""
     config = _resolve(config)
+    confidence = store_confidence(store)
     app = config.suite()["susan"]
     axis = list(errors_axis if errors_axis is not None else app.default_error_sweep)
     protected = _sweep(app, config, axis, ProtectionMode.PROTECTED, store)
@@ -60,11 +64,15 @@ def figure1_susan(config: Optional[ExperimentConfig] = None,
         x_label="errors inserted",
         x_values=[float(errors) for errors in axis],
     )
-    figure.add_series("PSNR (analysis ON) [dB]", protected.fidelity_series())
-    figure.add_series("PSNR (analysis OFF) [dB]", unprotected.fidelity_series())
+    figure.add_series("PSNR (analysis ON) [dB]", protected.fidelity_series(),
+                      errors=protected.fidelity_error_series(confidence))
+    figure.add_series("PSNR (analysis OFF) [dB]", unprotected.fidelity_series(),
+                      errors=unprotected.fidelity_error_series(confidence))
     figure.add_series("fidelity threshold [dB]", [10.0] * len(axis))
-    figure.add_series("% failures (analysis ON)", protected.failure_series())
-    figure.add_series("% failures (analysis OFF)", unprotected.failure_series())
+    figure.add_series("% failures (analysis ON)", protected.failure_series(),
+                      errors=protected.failure_error_series(confidence))
+    figure.add_series("% failures (analysis OFF)", unprotected.failure_series(),
+                      errors=unprotected.failure_error_series(confidence))
     return figure
 
 
@@ -73,6 +81,7 @@ def figure2_mpeg(config: Optional[ExperimentConfig] = None,
                  store: Optional[ShardStore] = None) -> FigureData:
     """MPEG: % bad frames and % failed executions (protection ON)."""
     config = _resolve(config)
+    confidence = store_confidence(store)
     app = config.suite()["mpeg"]
     axis = list(errors_axis if errors_axis is not None else app.default_error_sweep)
     protected = _sweep(app, config, axis, ProtectionMode.PROTECTED, store)
@@ -81,8 +90,10 @@ def figure2_mpeg(config: Optional[ExperimentConfig] = None,
         x_label="errors inserted",
         x_values=[float(errors) for errors in axis],
     )
-    figure.add_series("% bad frames", protected.fidelity_series())
-    figure.add_series("% failed executions", protected.failure_series())
+    figure.add_series("% bad frames", protected.fidelity_series(),
+                      errors=protected.fidelity_error_series(confidence))
+    figure.add_series("% failed executions", protected.failure_series(),
+                      errors=protected.failure_error_series(confidence))
     figure.add_series("fidelity threshold [%]", [10.0] * len(axis))
     return figure
 
@@ -92,6 +103,7 @@ def figure3_mcf(config: Optional[ExperimentConfig] = None,
                 store: Optional[ShardStore] = None) -> FigureData:
     """MCF: % optimal schedules found and % failed runs."""
     config = _resolve(config)
+    confidence = store_confidence(store)
     app = config.suite()["mcf"]
     axis = list(errors_axis if errors_axis is not None else app.default_error_sweep)
     protected = _sweep(app, config, axis, ProtectionMode.PROTECTED, store)
@@ -105,7 +117,8 @@ def figure3_mcf(config: Optional[ExperimentConfig] = None,
         x_values=[float(errors) for errors in axis],
     )
     figure.add_series("% optimal schedules found", optimal_series)
-    figure.add_series("% failed executions", protected.failure_series())
+    figure.add_series("% failed executions", protected.failure_series(),
+                      errors=protected.failure_error_series(confidence))
     return figure
 
 
@@ -114,6 +127,7 @@ def figure4_blowfish(config: Optional[ExperimentConfig] = None,
                      store: Optional[ShardStore] = None) -> FigureData:
     """Blowfish: % bytes correct and % failed executions."""
     config = _resolve(config)
+    confidence = store_confidence(store)
     app = config.suite()["blowfish"]
     axis = list(errors_axis if errors_axis is not None else app.default_error_sweep)
     protected = _sweep(app, config, axis, ProtectionMode.PROTECTED, store)
@@ -122,8 +136,10 @@ def figure4_blowfish(config: Optional[ExperimentConfig] = None,
         x_label="errors inserted",
         x_values=[float(errors) for errors in axis],
     )
-    figure.add_series("% bytes correct", protected.fidelity_series())
-    figure.add_series("% failed executions", protected.failure_series())
+    figure.add_series("% bytes correct", protected.fidelity_series(),
+                      errors=protected.fidelity_error_series(confidence))
+    figure.add_series("% failed executions", protected.failure_series(),
+                      errors=protected.failure_error_series(confidence))
     return figure
 
 
@@ -132,6 +148,7 @@ def figure5_gsm(config: Optional[ExperimentConfig] = None,
                 store: Optional[ShardStore] = None) -> FigureData:
     """GSM: SNR relative to the error-free decode and % failed executions."""
     config = _resolve(config)
+    confidence = store_confidence(store)
     app = config.suite()["gsm"]
     axis = list(errors_axis if errors_axis is not None else app.default_error_sweep)
     protected = _sweep(app, config, axis, ProtectionMode.PROTECTED, store)
@@ -144,7 +161,8 @@ def figure5_gsm(config: Optional[ExperimentConfig] = None,
     )
     figure.add_series("% SNR from optimal", snr_percent)
     figure.add_series("SNR loss [dB]", snr_loss)
-    figure.add_series("% failed executions", protected.failure_series())
+    figure.add_series("% failed executions", protected.failure_series(),
+                      errors=protected.failure_error_series(confidence))
     return figure
 
 
@@ -153,6 +171,7 @@ def figure6_art(config: Optional[ExperimentConfig] = None,
                 store: Optional[ShardStore] = None) -> FigureData:
     """ART: % images recognised and % failed executions."""
     config = _resolve(config)
+    confidence = store_confidence(store)
     app = config.suite()["art"]
     axis = list(errors_axis if errors_axis is not None else app.default_error_sweep)
     protected = _sweep(app, config, axis, ProtectionMode.PROTECTED, store)
@@ -166,8 +185,10 @@ def figure6_art(config: Optional[ExperimentConfig] = None,
         x_values=[float(errors) for errors in axis],
     )
     figure.add_series("% images recognised", recognised)
-    figure.add_series("confidence error", protected.fidelity_series())
-    figure.add_series("% failed executions", protected.failure_series())
+    figure.add_series("confidence error", protected.fidelity_series(),
+                      errors=protected.fidelity_error_series(confidence))
+    figure.add_series("% failed executions", protected.failure_series(),
+                      errors=protected.failure_error_series(confidence))
     return figure
 
 

@@ -16,6 +16,24 @@ and a later invocation (with any backend) recomputes only the runs whose
 records never landed, producing a store byte-identical to an
 uninterrupted serial sweep.
 
+Two planning modes share that machinery:
+
+* **Fixed** (the default): every cell gets exactly ``runs_per_cell``
+  runs, pinned in ``meta.json``.
+* **Adaptive** (``stopping=StoppingRule(...)``, CLI ``sweep
+  --adaptive``): each cell keeps appending runs until the
+  failure-rate and acceptable-rate Wilson intervals are narrower than
+  the rule's target half-width (with a floor and a cap), so the sweep
+  spends runs where the estimates are still noisy and stops early where
+  they have converged.  The canonical run count of a cell is the
+  *smallest* ``n`` in ``[floor, cap]`` whose first ``n`` records satisfy
+  the rule — a pure function of the record stream, which itself is a
+  pure function of ``(base_seed, run_index, errors, model)`` — so
+  adaptive stores stay byte-deterministic across executor backends,
+  interruptions and chunk sizes.  ``meta.json`` pins the rule
+  ``(ci_width, run_floor, run_cap, confidence)`` instead of an exact
+  ``runs_per_cell``.
+
 ``python -m repro sweep`` is the CLI front end; ``experiments.tables``
 and ``experiments.figures`` regenerate the paper artefacts from the
 resulting store.
@@ -27,8 +45,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..apps import APP_ORDER
-from ..core import CampaignConfig, CampaignRunner, ShardStore
+from ..core import CampaignConfig, CampaignRunner, ShardStore, StoppingRule
 from ..core.app import ErrorTolerantApp
+from ..core.outcomes import RunRecord
+from ..core.stats import wilson_interval
 from ..sim import ProtectionMode
 from .config import ExperimentConfig
 from .tables import TABLE2_ERROR_COUNTS
@@ -49,15 +69,26 @@ class SweepCell:
 
 @dataclass
 class SweepStatus:
-    """Progress of one cell: how many of its runs are persisted."""
+    """Progress of one cell: how many of its runs are persisted.
+
+    Fixed sweeps fill ``done``/``total`` only.  Adaptive sweeps
+    additionally report ``converged`` (the stopping rule's verdict on
+    the persisted records; ``total`` is then the rule's run cap) and
+    ``ci_half_width`` (the persisted failure-rate interval's ``±`` in
+    percentage points, ``None`` while the cell has no records).
+    """
 
     cell: SweepCell
     done: int
     total: int
+    converged: Optional[bool] = None
+    ci_half_width: Optional[float] = None
 
     @property
     def complete(self) -> bool:
-        """True when every run of the cell has a persisted record."""
+        """True when the cell needs no further runs."""
+        if self.converged is not None:
+            return self.converged
         return self.done >= self.total
 
 
@@ -69,6 +100,10 @@ class SweepReport:
     cells_skipped: int = 0
     runs_executed: int = 0
     runs_reused: int = 0
+    #: Adaptive mode only: runs computed past a cell's convergence point
+    #: inside the final chunk and therefore never persisted (the price of
+    #: chunked execution; bounded by ``chunk_size - 1`` per cell).
+    runs_discarded: int = 0
     statuses: List[SweepStatus] = field(default_factory=list)
 
 
@@ -116,11 +151,13 @@ class SweepOrchestrator:
                  errors_axis: Optional[Sequence[int]] = None,
                  include_table2: bool = True,
                  chunk_size: int = 16,
+                 stopping: Optional[StoppingRule] = None,
                  progress: Optional[Callable[[str], None]] = None) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.store = store
         self.config = config
+        self.stopping = stopping
         self.campaign_config = campaign or config.campaign_config()
         if store.model != self.campaign_config.model:
             # Shard paths derive from the store's model and records derive
@@ -146,15 +183,28 @@ class SweepOrchestrator:
         store with defaults that would block the real sweep later.  The
         executor backend must not influence the stored bytes, so the meta
         records only what the records themselves depend on.
+
+        Fixed sweeps pin an exact ``runs_per_cell``
+        (``sweep-store-v1``); adaptive sweeps pin the stopping rule —
+        ``(ci_width, run_floor, run_cap, confidence)`` — instead
+        (``sweep-store-v2-adaptive``), because the per-cell run *count*
+        is data-dependent there while everything else about the records
+        stays seed-determined.  The two schemas never resume each other:
+        ``ensure_meta`` raises ``StoreMismatchError`` on the mismatch.
         """
-        self.store.ensure_meta({
-            "schema": "sweep-store-v1",
+        meta = {
             "suite": self.config.suite_name,
-            "runs_per_cell": self.campaign_config.runs,
             "base_seed": self.campaign_config.base_seed,
             "workloads": self.campaign_config.workloads,
             "model": self.campaign_config.model,
-        })
+        }
+        if self.stopping is not None:
+            meta["schema"] = "sweep-store-v2-adaptive"
+            meta.update(self.stopping.as_meta())
+        else:
+            meta["schema"] = "sweep-store-v1"
+            meta["runs_per_cell"] = self.campaign_config.runs
+        self.store.ensure_meta(meta)
 
     def _report(self, message: str) -> None:
         if self._progress is not None:
@@ -166,8 +216,50 @@ class SweepOrchestrator:
                           errors_axis=self.errors_axis,
                           include_table2=self.include_table2)
 
+    def _cell_counts(self, cell: SweepCell) -> Tuple[int, int, int]:
+        """Persisted ``(total, catastrophic, acceptable)`` counts of a cell.
+
+        Adaptive cells grow from index 0 without holes, so the persisted
+        records must form a contiguous prefix; anything else means the
+        store was written by a different planner and the stopping rule's
+        canonical-count contract no longer holds.
+        """
+        records = self.store.load_records(cell.app_name, cell.mode,
+                                          cell.errors)
+        for index, record in enumerate(records):
+            if record.run_index != index:
+                raise ValueError(
+                    f"adaptive cell ({cell.app_name}, {cell.mode.value}, "
+                    f"{cell.errors} errors) has a non-contiguous record "
+                    f"prefix (gap at run {index}); the store was not "
+                    f"written by an adaptive sweep"
+                )
+        return (len(records),
+                sum(1 for record in records if record.is_catastrophic),
+                sum(1 for record in records if record.is_acceptable))
+
     def status(self) -> List[SweepStatus]:
-        """Per-cell persisted/total counts for the planned grid."""
+        """Per-cell persisted/total counts for the planned grid.
+
+        In adaptive mode ``total`` is the stopping rule's run cap and
+        each status carries the rule's convergence verdict plus the
+        persisted failure-rate CI half-width.
+        """
+        if self.stopping is not None:
+            rule = self.stopping
+            statuses = []
+            for cell in self.plan():
+                done, catastrophic, acceptable = self._cell_counts(cell)
+                interval = (wilson_interval(catastrophic, done,
+                                            rule.confidence)
+                            if done else None)
+                statuses.append(SweepStatus(
+                    cell=cell, done=done, total=rule.cap,
+                    converged=rule.satisfied(done, catastrophic, acceptable),
+                    ci_half_width=(interval.half_width
+                                   if interval is not None else None),
+                ))
+            return statuses
         runs = self.campaign_config.runs
         return [
             SweepStatus(
@@ -186,6 +278,11 @@ class SweepOrchestrator:
         memoized golden run) serves all of an app's cells; each completed
         chunk is appended to the store before the next starts, bounding
         the work an interruption can lose to ``chunk_size`` runs.
+
+        In adaptive mode a cell's "missing" runs are not a fixed set:
+        after each chunk the stopping rule re-evaluates the cell, and
+        only the records up to the cell's canonical convergence point are
+        persisted (see :meth:`_run_adaptive_cell`).
         """
         self._pin_meta()
         report = SweepReport()
@@ -199,14 +296,25 @@ class SweepOrchestrator:
         runs = self.campaign_config.runs
         for app_name, app_cells in by_app.items():
             pending: List[Tuple[SweepCell, List[int]]] = []
-            for cell in app_cells:
-                missing = self.store.missing_indices(cell.app_name, cell.mode,
-                                                     cell.errors, runs)
-                report.runs_reused += runs - len(missing)
-                if missing:
-                    pending.append((cell, missing))
-                else:
-                    report.cells_skipped += 1
+            adaptive_counts: Dict[SweepCell, Tuple[int, int, int]] = {}
+            if self.stopping is not None:
+                for cell in app_cells:
+                    counts = self._cell_counts(cell)
+                    report.runs_reused += counts[0]
+                    if self.stopping.satisfied(*counts):
+                        report.cells_skipped += 1
+                    else:
+                        adaptive_counts[cell] = counts
+                        pending.append((cell, []))
+            else:
+                for cell in app_cells:
+                    missing = self.store.missing_indices(
+                        cell.app_name, cell.mode, cell.errors, runs)
+                    report.runs_reused += runs - len(missing)
+                    if missing:
+                        pending.append((cell, missing))
+                    else:
+                        report.cells_skipped += 1
             if not pending:
                 continue
             runner = CampaignRunner(suite[app_name], self.campaign_config)
@@ -217,6 +325,10 @@ class SweepOrchestrator:
             runner.warm_goldens()
             with runner.make_executor() as executor:
                 for cell, missing in pending:
+                    if self.stopping is not None:
+                        self._run_adaptive_cell(runner, executor, cell,
+                                                adaptive_counts[cell], report)
+                        continue
                     done = runs - len(missing)
                     for chunk in _chunks(missing, self.chunk_size):
                         records = runner.run_records(cell.errors, cell.mode,
@@ -232,6 +344,53 @@ class SweepOrchestrator:
                         )
         report.statuses = self.status()
         return report
+
+    def _run_adaptive_cell(self, runner: CampaignRunner, executor,
+                           cell: SweepCell, counts: Tuple[int, int, int],
+                           report: SweepReport) -> None:
+        """Append runs to one cell until the stopping rule is satisfied.
+
+        ``counts`` is the cell's persisted ``(total, catastrophic,
+        acceptable)`` tally the planning pass already read — re-reading
+        the shard here would double the store I/O per cell.
+
+        Chunks are executed through the warm ``executor``, but records
+        are persisted one at a time *logically*: the rule is re-evaluated
+        after each record of the chunk, and records past the first
+        satisfying count are dropped instead of written.  The persisted
+        prefix is therefore exactly the cell's canonical run count —
+        independent of ``chunk_size``, backend, and where a previous
+        session was interrupted — at the cost of at most
+        ``chunk_size - 1`` wasted (computed-but-unpersisted) runs.
+        """
+        rule = self.stopping
+        total, catastrophic, acceptable = counts
+        while not rule.satisfied(total, catastrophic, acceptable):
+            chunk = runner.run_records(
+                cell.errors, cell.mode,
+                run_indices=range(total, min(total + self.chunk_size,
+                                             rule.cap)),
+                _executor=executor,
+            )
+            keep: List[RunRecord] = []
+            for record in chunk:
+                keep.append(record)
+                total += 1
+                catastrophic += record.is_catastrophic
+                acceptable += record.is_acceptable
+                if rule.satisfied(total, catastrophic, acceptable):
+                    break
+            self.store.append_records(cell.app_name, cell.mode, cell.errors,
+                                      keep)
+            report.runs_executed += len(keep)
+            report.runs_discarded += len(chunk) - len(keep)
+            width = wilson_interval(catastrophic, total,
+                                    rule.confidence).half_width
+            self._report(
+                f"{cell.app_name} {cell.mode.value} e={cell.errors}: "
+                f"{total} runs, failure CI ±{width:.2f} "
+                f"(target ±{rule.ci_width:.2f}, cap {rule.cap})"
+            )
 
 
 def _chunks(items: Sequence[int], size: int) -> Iterable[List[int]]:

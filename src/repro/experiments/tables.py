@@ -21,7 +21,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from ..apps import APP_ORDER, TABLE1_FIDELITY
 from ..core import CampaignConfig, CampaignRunner, ShardStore, TableData
 from ..sim import MODEL_NAMES, ProtectionMode, get_model
-from .config import ExperimentConfig, default
+from .config import ExperimentConfig, default, store_confidence
 
 #: Error counts used by Table 2, straight from the paper (low, high) —
 #: applications with a single reported point repeat it.
@@ -76,12 +76,24 @@ def table2_catastrophic_failures(
     names = list(apps) if apps is not None else list(APP_ORDER)
 
     source = "shard store" if store is not None else "live simulation"
+    rule = store.stopping_rule() if store is not None else None
+    confidence = store_confidence(store)
+    level = f"{100.0 * confidence:g}%"
+    if rule is not None:
+        # Adaptive stores pin a stopping rule instead of an exact count;
+        # the run note should say what the cells actually guarantee.
+        runs_note = (f"adaptive runs per cell ({rule.floor}..{rule.cap}, "
+                     f"target CI ±{rule.ci_width:g} pp)")
+    else:
+        runs_note = f"{config.runs_per_cell} injected runs per cell"
     table = TableData(
         title="Table 2: catastrophic failures (crashes or infinite runs)",
         headers=["Application", "Errors introduced", "Total instructions",
-                 "% failures with protection", "% failures without protection"],
-        notes=[f"{config.runs_per_cell} injected runs per cell, "
-               f"suite={config.suite_name!r}, source={source}"],
+                 "% failures with protection", f"±{level} (prot.)",
+                 "% failures without protection", f"±{level} (unprot.)"],
+        notes=[f"{runs_note}, suite={config.suite_name!r}, source={source}",
+               f"± columns are Wilson-score {level} CI half-widths on the "
+               f"failure rates"],
     )
     for name in names:
         app = suite[name]
@@ -98,12 +110,16 @@ def table2_catastrophic_failures(
             else:
                 protected = runner.run_campaign(errors, ProtectionMode.PROTECTED)
                 unprotected = runner.run_campaign(errors, ProtectionMode.UNPROTECTED)
+            protected_ci = protected.failure_ci(confidence)
+            unprotected_ci = unprotected.failure_ci(confidence)
             table.add_row([
                 name,
                 errors,
                 golden.executed,
                 protected.failure_percent,
+                protected_ci.half_width if protected_ci is not None else None,
                 unprotected.failure_percent,
+                unprotected_ci.half_width if unprotected_ci is not None else None,
             ])
     return table
 

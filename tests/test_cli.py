@@ -113,3 +113,82 @@ class TestSweepModelEndToEnd:
                      *MINI_GRID]) == 1
         captured = capsys.readouterr()
         assert "refusing to resume" in captured.err
+
+
+ADAPTIVE_GRID = ["--suite", "small", "--base-seed", "11", "--apps", "adpcm",
+                 "--errors", "0", "2", "--no-table2-points"]
+ADAPTIVE_FLAGS = ["--adaptive", "--ci-width", "25", "--min-runs", "2",
+                  "--max-runs", "8"]
+
+
+class TestAdaptiveSweepEndToEnd:
+    """ISSUE 5 tentpole surfaced through the CLI."""
+
+    def test_adaptive_sweep_pins_rule_and_resumes_flagless(self, tmp_path,
+                                                           capsys):
+        root = tmp_path / "adaptive"
+        assert main(["sweep", "--store", str(root),
+                     *ADAPTIVE_FLAGS, *ADAPTIVE_GRID]) == 0
+        meta = ShardStore(root).read_meta()
+        assert meta["schema"] == "sweep-store-v2-adaptive"
+        assert meta["ci_width"] == 25.0
+        assert "runs_per_cell" not in meta
+        capsys.readouterr()
+        # Resume with no adaptive flags at all: the rule comes from meta
+        # and the complete store is a no-op.
+        assert main(["sweep", "--store", str(root), *ADAPTIVE_GRID]) == 0
+        assert "0 runs executed" in capsys.readouterr().out
+
+    def test_adaptive_serial_vs_pool_byte_identical(self, tmp_path, capsys):
+        serial_root = tmp_path / "serial"
+        pool_root = tmp_path / "pool"
+        assert main(["sweep", "--store", str(serial_root),
+                     *ADAPTIVE_FLAGS, *ADAPTIVE_GRID]) == 0
+        assert main(["sweep", "--store", str(pool_root), "--executor", "pool",
+                     "--parallel", "2", "--chunk-size", "3",
+                     *ADAPTIVE_FLAGS, *ADAPTIVE_GRID]) == 0
+        capsys.readouterr()
+        assert store_bytes(serial_root) == store_bytes(pool_root)
+
+    def test_status_shows_ci_widths(self, tmp_path, capsys):
+        root = tmp_path / "adaptive"
+        assert main(["sweep", "--store", str(root),
+                     *ADAPTIVE_FLAGS, *ADAPTIVE_GRID]) == 0
+        capsys.readouterr()
+        assert main(["status", "--store", str(root), *ADAPTIVE_GRID]) == 0
+        out = capsys.readouterr().out
+        assert "failure CI ±" in out
+        assert "target CI ±25" in out
+
+    def test_explicit_runs_conflicts_with_adaptive_mode(self, tmp_path,
+                                                        capsys):
+        root = tmp_path / "adaptive"
+        assert main(["sweep", "--store", str(root),
+                     *ADAPTIVE_FLAGS, *ADAPTIVE_GRID]) == 0
+        capsys.readouterr()
+        # --runs on an adaptive store (or with --adaptive) must be refused,
+        # not silently ignored: the stopping rule sizes the cells.
+        assert main(["sweep", "--store", str(root), "--runs", "100",
+                     *ADAPTIVE_GRID]) == 2
+        assert "--min-runs/--max-runs" in capsys.readouterr().err
+        assert main(["sweep", "--store", str(tmp_path / "fresh"),
+                     "--runs", "20", *ADAPTIVE_FLAGS, *ADAPTIVE_GRID]) == 2
+        capsys.readouterr()
+        # status has the same trap: done/total would be read against the
+        # rule's cap, not the requested count.
+        assert main(["status", "--store", str(root), "--runs", "100",
+                     *ADAPTIVE_GRID]) == 2
+        assert "--min-runs/--max-runs" in capsys.readouterr().err
+        # tables/figures would feed --runs into the completeness check and
+        # reject converged cells with an unfollowable "resume" hint.
+        assert main(["figures", "--store", str(root), "--runs", "100",
+                     "--figures", "figure1", *ADAPTIVE_GRID]) == 2
+        assert main(["tables", "--store", str(root), "--runs", "100",
+                     "--tables", "2", *ADAPTIVE_GRID]) == 2
+        assert "adaptive store" in capsys.readouterr().err
+
+    def test_sweep_help_documents_adaptive_mode(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--help"])
+        out = capsys.readouterr().out
+        assert "--adaptive" in out and "--ci-width" in out

@@ -103,6 +103,45 @@ class TestExecutorResolution:
         with pytest.raises(ValueError, match="invalid worker address"):
             parse_worker_address("no-port")
 
+    def test_worker_banner_round_trips_through_the_parser(self):
+        """The banner is how callers learn --workers addresses, so the
+        worker must advertise a form its own parser accepts — including
+        bracketed IPv6 hosts."""
+        import io
+
+        from repro.exec.worker import serve
+
+        for host in ("127.0.0.1", "::1"):
+            stream = io.StringIO()
+            try:
+                # max_sessions=0: bind, print the banner, exit.
+                serve(host=host, port=0, max_sessions=0,
+                      banner_stream=stream)
+            except OSError:
+                continue  # no IPv6 loopback in this environment
+            address = stream.getvalue().strip().rpartition(" ")[2]
+            assert parse_worker_address(address)[0] == host
+
+    def test_parse_worker_address_ipv6_brackets_are_stripped(self):
+        # socket.create_connection wants the bare host, not the URI form.
+        assert parse_worker_address("[::1]:9999") == ("::1", 9999)
+        assert parse_worker_address("[fe80::2%eth0]:80") == ("fe80::2%eth0", 80)
+
+    @pytest.mark.parametrize("address, match", [
+        ("::1:9999", "bracket IPv6 hosts"),      # every split is a valid v6
+        ("[::1]9999", "invalid worker address"),  # no colon after bracket
+        ("[]:80", "invalid worker address"),      # empty host
+        ("[::1]:", "port must be a decimal"),
+        ("host:٩٩", "port must be a decimal"),  # Arabic-Indic ٩٩
+        ("host:²", "port must be a decimal"),        # '²' passes isdigit
+        ("host:99999", "out of range"),
+        ("host:0", "out of range"),  # bind-side wildcard, never a target
+    ])
+    def test_parse_worker_address_rejects_ambiguous_forms(self, address,
+                                                          match):
+        with pytest.raises(ValueError, match=match):
+            parse_worker_address(address)
+
 
 class TestConfigValidation:
     """CampaignConfig fails fast instead of deep inside the run loop."""

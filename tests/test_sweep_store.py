@@ -6,6 +6,7 @@ a shard store byte-identical to one written by a single uninterrupted
 serial sweep.
 """
 
+import contextlib
 import json
 import os
 import re
@@ -16,7 +17,14 @@ from pathlib import Path
 import pytest
 
 from repro.apps import create_app
-from repro.core import CampaignConfig, CampaignRunner, RunRecord, ShardStore
+from repro.core import (
+    CampaignConfig,
+    CampaignRunner,
+    RunRecord,
+    ShardStore,
+    StoppingRule,
+)
+from repro.core.store import StoreMismatchError
 from repro.experiments import (
     ExperimentConfig,
     SweepOrchestrator,
@@ -28,6 +36,29 @@ from repro.experiments import (
 from repro.sim import ProtectionMode
 
 SRC_DIR = Path(__file__).resolve().parents[1] / "src"
+
+
+@contextlib.contextmanager
+def spawn_workers(count):
+    """Run ``count`` TCP campaign workers; yields their addresses."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    workers = []
+    try:
+        for _ in range(count):
+            process = subprocess.Popen(
+                [sys.executable, "-m", "repro.exec.worker", "--port", "0"],
+                stdout=subprocess.PIPE, text=True, env=env,
+            )
+            banner = process.stdout.readline().strip()
+            workers.append(
+                (process, re.search(r"listening on (\S+:\d+)$", banner).group(1))
+            )
+        yield tuple(address for _, address in workers)
+    finally:
+        for process, _ in workers:
+            process.terminate()
+            process.wait(timeout=10)
 
 #: Small, fast grid reused by most orchestrator tests: one app, both
 #: modes, three error counts, four runs per cell.
@@ -195,32 +226,172 @@ class TestResumableSweep:
         with pytest.raises(KeyboardInterrupt):
             run_sweep(root, progress=_InterruptAfter(5))
 
-        env = dict(os.environ)
-        env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
-        workers = []
-        try:
-            for _ in range(2):
-                process = subprocess.Popen(
-                    [sys.executable, "-m", "repro.exec.worker", "--port", "0"],
-                    stdout=subprocess.PIPE, text=True, env=env,
-                )
-                banner = process.stdout.readline().strip()
-                workers.append(
-                    (process, re.search(r"listening on (\S+:\d+)$", banner).group(1))
-                )
+        with spawn_workers(2) as addresses:
             campaign = CampaignConfig(
                 runs=CONFIG.runs_per_cell, base_seed=CONFIG.base_seed,
-                executor="socket",
-                workers=tuple(address for _, address in workers),
+                executor="socket", workers=addresses,
             )
             _, resumed = run_sweep(root, campaign=campaign)
-        finally:
-            for process, _ in workers:
-                process.terminate()
-                process.wait(timeout=10)
 
         assert 0 < resumed.runs_executed < 6 * 4
         assert store_bytes(ShardStore(root)) == store_bytes(reference_store)
+
+
+#: Stopping rule for the adaptive tests: at ±25pp a clean (all-completed
+#: or all-failed) cell converges at 4 runs, comfortably inside the cap.
+ADAPTIVE_RULE = StoppingRule(ci_width=25.0, floor=2, cap=8)
+
+
+def run_adaptive(root, campaign=None, chunk_size=2, progress=None,
+                 rule=ADAPTIVE_RULE, **overrides):
+    grid = dict(GRID, **overrides)
+    orchestrator = SweepOrchestrator(
+        ShardStore(root), CONFIG, campaign=campaign, chunk_size=chunk_size,
+        stopping=rule, progress=progress, **grid,
+    )
+    return orchestrator, orchestrator.run()
+
+
+@pytest.fixture(scope="module")
+def adaptive_reference(tmp_path_factory):
+    """The uninterrupted serial adaptive sweep the others are compared to."""
+    root = tmp_path_factory.mktemp("adaptive-reference")
+    run_adaptive(root)
+    return ShardStore(root)
+
+
+class TestAdaptiveSweep:
+    """ISSUE 5 tentpole: CI-driven adaptive cell sampling."""
+
+    def test_every_cell_converges_within_floor_and_cap(self, adaptive_reference):
+        store = adaptive_reference
+        counts = {}
+        for app, mode, errors, _path in store.shards():
+            count = len(store.load_records(app, mode, errors))
+            counts[(mode.value, errors)] = count
+            assert ADAPTIVE_RULE.floor <= count <= ADAPTIVE_RULE.cap
+        assert len(counts) == 6
+        # Zero-error cells are deterministic successes; adaptive sampling
+        # visibly stops them before the cap.
+        assert counts[("protected", 0)] < ADAPTIVE_RULE.cap
+
+    def test_meta_pins_rule_not_an_exact_run_count(self, adaptive_reference):
+        meta = adaptive_reference.read_meta()
+        assert meta["schema"] == "sweep-store-v2-adaptive"
+        assert "runs_per_cell" not in meta
+        assert StoppingRule.from_meta(meta) == ADAPTIVE_RULE
+
+    def test_completed_adaptive_sweep_resumes_as_noop(self, tmp_path,
+                                                      adaptive_reference):
+        root = tmp_path / "noop"
+        run_adaptive(root)
+        orchestrator, second = run_adaptive(root)
+        assert second.runs_executed == 0
+        assert second.cells_skipped == second.cells_total
+        statuses = orchestrator.status()
+        assert all(status.complete and status.converged
+                   for status in statuses)
+        assert all(status.ci_half_width is not None for status in statuses)
+        assert store_bytes(ShardStore(root)) == store_bytes(adaptive_reference)
+
+    def test_store_is_chunk_size_independent(self, tmp_path,
+                                             adaptive_reference):
+        """The canonical run count is the minimal converged prefix, so
+        the persisted bytes cannot depend on the execution chunking."""
+        for chunk_size in (1, 5):
+            root = tmp_path / f"chunk{chunk_size}"
+            run_adaptive(root, chunk_size=chunk_size)
+            assert store_bytes(ShardStore(root)) == store_bytes(
+                adaptive_reference)
+
+    def test_interrupted_adaptive_sweep_resumed_on_socket_backend(
+            self, tmp_path, adaptive_reference):
+        """The ISSUE 5 acceptance scenario: kill an adaptive serial sweep
+        mid-cell, resume it on TCP workers (and a different chunk size),
+        and the store must come out byte-identical to the uninterrupted
+        serial adaptive sweep."""
+        root = tmp_path / "cross-backend"
+        with pytest.raises(KeyboardInterrupt):
+            run_adaptive(root, progress=_InterruptAfter(3))
+        assert store_bytes(ShardStore(root)) != store_bytes(adaptive_reference)
+
+        with spawn_workers(2) as addresses:
+            campaign = CampaignConfig(
+                runs=CONFIG.runs_per_cell, base_seed=CONFIG.base_seed,
+                executor="socket", workers=addresses,
+            )
+            _, resumed = run_adaptive(root, campaign=campaign, chunk_size=3)
+        assert resumed.runs_executed > 0
+        assert store_bytes(ShardStore(root)) == store_bytes(adaptive_reference)
+
+    def test_resuming_with_a_different_rule_is_refused(self, tmp_path):
+        root = tmp_path / "pin"
+        run_adaptive(root, errors_axis=[0])
+        with pytest.raises(StoreMismatchError):
+            run_adaptive(root, errors_axis=[0],
+                         rule=StoppingRule(ci_width=5.0, floor=2, cap=8))
+
+    def test_fixed_and_adaptive_stores_never_resume_each_other(self, tmp_path):
+        fixed_root = tmp_path / "fixed"
+        run_sweep(fixed_root, errors_axis=[0])
+        with pytest.raises(StoreMismatchError):
+            run_adaptive(fixed_root, errors_axis=[0])
+        adaptive_root = tmp_path / "adaptive"
+        run_adaptive(adaptive_root, errors_axis=[0])
+        with pytest.raises(StoreMismatchError):
+            run_sweep(adaptive_root, errors_axis=[0])
+
+    def test_non_contiguous_prefix_is_rejected(self, tmp_path,
+                                               reference_store):
+        root = tmp_path / "holes"
+        store = ShardStore(root)
+        records = reference_store.load_records("adpcm",
+                                               ProtectionMode.PROTECTED, 2)
+        store.append_records("adpcm", ProtectionMode.PROTECTED, 2,
+                             [records[0], records[2]])
+        with pytest.raises(ValueError, match="non-contiguous"):
+            run_adaptive(root, errors_axis=[2])
+
+    def test_unconverged_adaptive_cell_refuses_artefacts(self, tmp_path):
+        """A cell interrupted past the floor but before convergence must
+        not silently feed tables/figures: the store's pinned rule is the
+        completeness contract, not a bare record count."""
+        root = tmp_path / "unconverged"
+        # chunk_size=1 and an interrupt after 2 chunks leaves the first
+        # cell with exactly floor (2) records — floor met, CI still wider
+        # than the 25pp target.
+        with pytest.raises(KeyboardInterrupt):
+            run_adaptive(root, chunk_size=1, progress=_InterruptAfter(2))
+        store = ShardStore(root)
+        cell = store.load_records("adpcm", ProtectionMode.PROTECTED, 0)
+        assert len(cell) == ADAPTIVE_RULE.floor
+        with pytest.raises(KeyError, match="unconverged"):
+            store.load_campaign("adpcm", ProtectionMode.PROTECTED, 0,
+                                expect_runs=ADAPTIVE_RULE.floor)
+
+    def test_artefacts_render_ci_from_adaptive_store(self, tmp_path):
+        """Tables and figures regenerated from an adaptive store carry
+        the ``±`` confidence annotations (ISSUE 5 acceptance)."""
+        config = ExperimentConfig(suite_name="small",
+                                  runs_per_cell=ADAPTIVE_RULE.floor,
+                                  base_seed=CONFIG.base_seed)
+        store = ShardStore(tmp_path / "mcf")
+        SweepOrchestrator(store, config, apps=["mcf"], errors_axis=[1],
+                          include_table2=False, stopping=ADAPTIVE_RULE).run()
+
+        table = table2_catastrophic_failures(
+            config, apps=["mcf"], error_counts={"mcf": (1,)}, store=store)
+        assert "±95% (prot.)" in table.headers
+        assert all(value is not None
+                   for value in table.column("±95% (prot.)"))
+        assert "±" in table.to_text()
+        assert "adaptive runs per cell" in table.to_text()
+
+        figure = figure3_mcf(config, errors_axis=[1], store=store)
+        failed = figure.series_by_label("% failed executions")
+        assert failed.error_values is not None
+        assert all(value is not None for value in failed.error_values)
+        assert "±" in figure.to_table()
 
 
 class TestArtefactsFromStore:
