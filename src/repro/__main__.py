@@ -170,6 +170,7 @@ def _make_orchestrator(args, progress=None) -> SweepOrchestrator:
         base_seed=config.base_seed,
         parallel=getattr(args, "parallel", 1),
         engine=getattr(args, "engine", "fork"),
+        batch_size=getattr(args, "batch_size", None) or 256,
         executor=getattr(args, "executor", "auto"),
         workers=tuple(getattr(args, "workers", None) or ()),
         model=config.model,
@@ -315,7 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_argument(sweep)
     _add_grid_arguments(sweep)
     sweep.add_argument("--executor", default="auto",
-                       choices=["auto", "serial", "pool", "socket"],
+                       choices=["auto", "serial", "batch", "pool", "socket"],
                        help="executor backend (default auto)")
     sweep.add_argument("--parallel", type=int, default=1,
                        help="local process-pool width (default 1)")
@@ -323,10 +324,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="socket-executor worker addresses (bracket IPv6 "
                             "hosts: '[::1]:7006')")
     sweep.add_argument("--engine", default="fork",
-                       choices=["fork", "decoded", "reference"],
+                       choices=["fork", "batch", "decoded", "reference"],
                        help="simulation engine (default fork)")
+    sweep.add_argument("--batch-size", type=int, default=256,
+                       help="max lanes per lockstep batch under "
+                            "--engine batch (default 256)")
     sweep.add_argument("--chunk-size", type=int, default=16,
-                       help="runs persisted per store append (default 16)")
+                       help="runs persisted per store append (default 16; "
+                            "under --engine batch this also caps how many "
+                            "runs share one lockstep batch, so raise it "
+                            "for maximum batch throughput)")
     adaptive = sweep.add_argument_group(
         "adaptive sampling",
         "Spend runs per cell until the failure-rate and acceptable-rate "

@@ -35,7 +35,7 @@ from .outcomes import CampaignResult, RunRecord, SweepResult
 ProgressCallback = Callable[[str], None]
 
 #: Engines accepted by ``CampaignConfig.engine`` (see ``Machine.run``).
-ENGINE_NAMES = ("fork", "decoded", "reference")
+ENGINE_NAMES = ("fork", "batch", "decoded", "reference")
 
 
 @dataclass
@@ -59,10 +59,17 @@ class CampaignConfig:
     parallel_threshold: int = 24
     #: Execution engine for injected runs: ``"fork"`` (default) resumes each
     #: run from the nearest golden checkpoint and splices the golden suffix
-    #: on re-convergence; ``"decoded"`` executes every run from scratch;
-    #: ``"reference"`` is the preserved seed interpreter.  Records are
-    #: bit-identical across engines.
+    #: on re-convergence; ``"batch"`` simulates a whole cell of injected
+    #: runs in numpy lockstep along the golden trace (fastest; see
+    #: :mod:`repro.sim.batch`); ``"decoded"`` executes every run from
+    #: scratch; ``"reference"`` is the preserved seed interpreter.  Records
+    #: are bit-identical across engines.
     engine: str = "fork"
+    #: Maximum number of runs a single lockstep batch carries under
+    #: ``engine="batch"``.  Larger batches amortize the golden-trace walk
+    #: over more lanes; memory cost grows with ``batch_size`` times the
+    #: number of diverged memory cells.
+    batch_size: int = 256
     #: Executor backend (:mod:`repro.exec`): ``"auto"`` resolves to
     #: ``"socket"`` when ``workers`` is non-empty, ``"pool"`` when
     #: ``parallel > 1`` engages (see ``parallel_threshold``), and
@@ -101,6 +108,10 @@ class CampaignConfig:
         if self.engine not in ENGINE_NAMES:
             raise ValueError(
                 f"unknown engine {self.engine!r}; expected one of {ENGINE_NAMES}"
+            )
+        if self.batch_size < 1:
+            raise ValueError(
+                f"CampaignConfig.batch_size must be >= 1, got {self.batch_size}"
             )
         get_model(self.model)  # raises ValueError on unknown model names
         if self.engine == "reference" and self.model != "control-bit":
@@ -165,8 +176,8 @@ class CampaignRunner:
         rebuild their stores locally on first use — the snapshots are
         deliberately stripped from the pickled payload.)
         """
-        build_checkpoints = (self.config.engine == "fork"
-                             and self.executor_name() == "serial"
+        build_checkpoints = (self.config.engine in ("fork", "batch")
+                             and self.executor_name() in ("serial", "batch")
                              and get_model(self.config.model).supports_fork)
         self.app.warm(seeds=range(min(self.config.runs, self.config.workloads)),
                       checkpoints=build_checkpoints)

@@ -5,6 +5,8 @@ injection plans derive purely from ``(base_seed, run_index, errors)``;
 an executor decides *where* those tasks run:
 
 * :class:`SerialExecutor` — in the calling process (the reference);
+* :class:`BatchExecutor` — in-process, forcing the numpy lockstep batch
+  engine (:mod:`repro.sim.batch`) regardless of ``config.engine``;
 * :class:`PoolExecutor` — a local :class:`~concurrent.futures.ProcessPoolExecutor`;
 * :class:`SocketExecutor` — sharded over TCP to ``python -m repro.exec.worker``
   processes on this or other hosts.
@@ -16,13 +18,14 @@ for.
 
 from __future__ import annotations
 
-from .base import Executor, RunTask, make_record
-from .local import PoolExecutor, SerialExecutor
+from .base import Executor, RunTask, make_record, make_records
+from .local import BatchExecutor, PoolExecutor, SerialExecutor
 from .tcp import SocketExecutor, WorkerTaskError, parse_worker_address
 
 #: Registry of executor backends by config name.
 EXECUTORS = {
     SerialExecutor.name: SerialExecutor,
+    BatchExecutor.name: BatchExecutor,
     PoolExecutor.name: PoolExecutor,
     SocketExecutor.name: SocketExecutor,
 }
@@ -37,8 +40,9 @@ def resolve_executor_name(config) -> str:
 
     ``socket`` when worker addresses are configured; ``pool`` when
     ``parallel > 1`` *and* the cell is big enough to amortize worker spawn
-    (``runs >= parallel_threshold``); ``serial`` otherwise.  Explicitly
-    named backends bypass the fallbacks.
+    (``runs >= parallel_threshold``); ``batch`` for an in-process cell
+    under ``engine="batch"``; ``serial`` otherwise.  Explicitly named
+    backends bypass the fallbacks.
     """
     if config.executor != "auto":
         return config.executor
@@ -47,6 +51,8 @@ def resolve_executor_name(config) -> str:
     if (config.parallel > 1 and config.runs > 1
             and config.runs >= config.parallel_threshold):
         return "pool"
+    if config.engine == "batch":
+        return "batch"
     return "serial"
 
 
@@ -66,6 +72,7 @@ def create_executor(app, config, name=None) -> Executor:
 
 
 __all__ = [
+    "BatchExecutor",
     "EXECUTORS",
     "EXECUTOR_NAMES",
     "Executor",
@@ -76,6 +83,7 @@ __all__ = [
     "WorkerTaskError",
     "create_executor",
     "make_record",
+    "make_records",
     "parse_worker_address",
     "resolve_executor_name",
 ]

@@ -21,7 +21,9 @@ scheduled them.
 from __future__ import annotations
 
 import abc
-from typing import List, Optional, Sequence, Tuple
+import dataclasses
+import warnings
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.app import ErrorTolerantApp, GoldenRun
 from ..core.outcomes import RunRecord
@@ -29,6 +31,10 @@ from ..sim import ProtectionMode, get_model, plan_injections
 
 #: One campaign run: ``(run_index, errors, mode)``.
 RunTask = Tuple[int, int, ProtectionMode]
+
+#: Fault-model names that already triggered the batch-to-decoded fallback
+#: warning in this process — state-kind models warn once, not once per run.
+_BATCH_FALLBACK_WARNED: set = set()
 
 
 def make_record(app: ErrorTolerantApp, config, run_index: int, errors: int,
@@ -51,6 +57,14 @@ def make_record(app: ErrorTolerantApp, config, run_index: int, errors: int,
     else:
         plan = None
     run = app.run_once(injection=plan, seed=workload_seed, engine=config.engine)
+    return _build_record(app, run_index, errors, mode, plan, run,
+                         workload_seed, model.name)
+
+
+def _build_record(app: ErrorTolerantApp, run_index: int, errors: int,
+                  mode: ProtectionMode, plan, run, workload_seed: int,
+                  model_name: str) -> RunRecord:
+    """Score one finished run and assemble its :class:`RunRecord`."""
     fidelity = app.score_run(run, seed=workload_seed)
     return RunRecord(
         run_index=run_index,
@@ -62,8 +76,74 @@ def make_record(app: ErrorTolerantApp, config, run_index: int, errors: int,
         executed=run.executed,
         fidelity=fidelity,
         fault_kind=run.fault_kind,
-        model=model.name,
+        model=model_name,
     )
+
+
+def make_records(app: ErrorTolerantApp, config,
+                 tasks: Sequence[RunTask]) -> List[RunRecord]:
+    """Execute a sequence of campaign run tasks, batching when possible.
+
+    The scalar engines simply map :func:`make_record` over the tasks.
+    Under ``config.engine == "batch"`` the injectable tasks are grouped by
+    ``(workload_seed, mode)``, chunked to ``config.batch_size`` and fed to
+    the numpy lockstep engine (:mod:`repro.sim.batch`); error-free and
+    unprotectable tasks keep the scalar path.  Injection plans are derived
+    from exactly the same ``(base_seed, run_index, errors, model)`` inputs
+    as :func:`make_record`, so the record stream stays bit-identical to
+    the scalar engines, in task order.
+
+    State-kind fault models (``supports_fork`` False) cannot start from a
+    golden checkpoint, so their cells fall back to the decoded engine with
+    a single :class:`RuntimeWarning` per model — not one warning per run.
+    """
+    tasks = list(tasks)
+    if config.engine != "batch" or not tasks:
+        return [make_record(app, config, run_index, errors, mode)
+                for run_index, errors, mode in tasks]
+    model = get_model(config.model)
+    if not model.supports_fork:
+        if model.name not in _BATCH_FALLBACK_WARNED:
+            _BATCH_FALLBACK_WARNED.add(model.name)
+            warnings.warn(
+                f"fault model {model.name!r} corrupts machine state and "
+                f"cannot start from a golden checkpoint; engine='batch' "
+                f"falls back to engine='decoded' for its runs",
+                RuntimeWarning, stacklevel=2,
+            )
+        fallback = dataclasses.replace(config, engine="decoded")
+        return [make_record(app, fallback, run_index, errors, mode)
+                for run_index, errors, mode in tasks]
+    records: List[Optional[RunRecord]] = [None] * len(tasks)
+    groups: Dict[Tuple[int, ProtectionMode], List[tuple]] = {}
+    for pos, (run_index, errors, mode) in enumerate(tasks):
+        if errors <= 0 or mode is ProtectionMode.NONE:
+            records[pos] = make_record(app, config, run_index, errors, mode)
+            continue
+        workload_seed = config.workload_seed_for(run_index)
+        golden = app.golden(workload_seed)
+        population = model.population(golden, mode)
+        injection_seed = config.seed_for(run_index) + 104729 * errors
+        plan = plan_injections(errors, population, mode, seed=injection_seed,
+                               model=model.name)
+        if not plan.targets:
+            # Nothing exposed to hit (population 0): scalar golden-path run.
+            records[pos] = make_record(app, config, run_index, errors, mode,
+                                       golden=golden)
+            continue
+        groups.setdefault((workload_seed, mode), []).append(
+            (pos, run_index, errors, plan))
+    batch_size = max(1, getattr(config, "batch_size", 256))
+    for (workload_seed, mode), members in groups.items():
+        for start in range(0, len(members), batch_size):
+            chunk = members[start:start + batch_size]
+            runs = app.run_batched([plan for _, _, _, plan in chunk],
+                                   seed=workload_seed)
+            for (pos, run_index, errors, plan), run in zip(chunk, runs):
+                records[pos] = _build_record(app, run_index, errors, mode,
+                                             plan, run, workload_seed,
+                                             model.name)
+    return records  # type: ignore[return-value]
 
 
 class Executor(abc.ABC):

@@ -5,9 +5,11 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from typing import List, Optional, Sequence
 
+import dataclasses
+
 from ..core.app import ErrorTolerantApp
 from ..core.outcomes import RunRecord
-from .base import Executor, RunTask, make_record
+from .base import Executor, RunTask, make_record, make_records
 
 
 class SerialExecutor(Executor):
@@ -16,15 +18,33 @@ class SerialExecutor(Executor):
     The reference backend: all other executors are tested against its
     record stream.  Golden runs (and, under the fork engine, checkpoint
     stores) are memoized on the application, so repeated ``run`` calls
-    only pay for the injected executions themselves.
+    only pay for the injected executions themselves.  Under
+    ``config.engine == "batch"`` the cell is executed through the numpy
+    lockstep engine (``make_records`` batches it transparently).
     """
 
     name = "serial"
 
     def run(self, tasks: Sequence[RunTask]) -> List[RunRecord]:
-        app, config = self.app, self.config
-        return [make_record(app, config, run_index, errors, mode)
-                for run_index, errors, mode in tasks]
+        return make_records(self.app, self.config, tasks)
+
+
+class BatchExecutor(SerialExecutor):
+    """In-process executor that forces the numpy lockstep batch engine.
+
+    ``executor="auto"`` resolves here when ``config.engine == "batch"``
+    and the cell stays in-process; naming ``executor="batch"`` explicitly
+    batches a cell even when the config's engine is a scalar one.  Records
+    are bit-identical to :class:`SerialExecutor` either way.
+    """
+
+    name = "batch"
+
+    def run(self, tasks: Sequence[RunTask]) -> List[RunRecord]:
+        config = self.config
+        if config.engine != "batch":
+            config = dataclasses.replace(config, engine="batch")
+        return make_records(self.app, config, tasks)
 
 
 # ----------------------------------------------------------------------
@@ -45,6 +65,10 @@ def _campaign_worker_init(app: ErrorTolerantApp, config) -> None:
 def _campaign_worker_run(task: RunTask) -> RunRecord:
     run_index, errors, mode = task
     return make_record(_WORKER_APP, _WORKER_CONFIG, run_index, errors, mode)
+
+
+def _campaign_worker_run_chunk(tasks: Sequence[RunTask]) -> List[RunRecord]:
+    return make_records(_WORKER_APP, _WORKER_CONFIG, tasks)
 
 
 class PoolExecutor(Executor):
@@ -76,9 +100,19 @@ class PoolExecutor(Executor):
     def run(self, tasks: Sequence[RunTask]) -> List[RunRecord]:
         if self._pool is None:
             self.start()
+        tasks = list(tasks)
         workers = max(1, self.config.parallel)
+        if self.config.engine == "batch":
+            # Ship contiguous shards so every worker executes one (or a
+            # few) lockstep batches instead of 240 single-lane ones.
+            shard = max(1, -(-len(tasks) // workers))
+            chunks = [tasks[i:i + shard] for i in range(0, len(tasks), shard)]
+            records: List[RunRecord] = []
+            for result in self._pool.map(_campaign_worker_run_chunk, chunks):
+                records.extend(result)
+            return records
         chunksize = max(1, len(tasks) // (workers * 4))
-        return list(self._pool.map(_campaign_worker_run, list(tasks),
+        return list(self._pool.map(_campaign_worker_run, tasks,
                                    chunksize=chunksize))
 
     def close(self) -> None:

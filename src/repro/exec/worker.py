@@ -30,7 +30,7 @@ import sys
 import traceback
 from typing import Optional
 
-from .base import make_record
+from .base import make_records
 from .tcp import recv_message, send_message
 
 
@@ -52,8 +52,7 @@ def _handle_session(connection: socket.socket) -> None:
                 send_message(connection, ("error", "run before init"))
                 return
             try:
-                records = [make_record(app, config, run_index, errors, mode)
-                           for run_index, errors, mode in message[1]]
+                records = make_records(app, config, message[1])
             except Exception:  # noqa: BLE001 — report to the executor
                 send_message(connection, ("error", traceback.format_exc()))
             else:

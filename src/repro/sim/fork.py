@@ -129,6 +129,9 @@ class CheckpointStore:
     forked_runs: int = 0
     spliced_runs: int = 0
     replayed_instructions: int = 0
+    #: Lanes the lockstep batch engine (:mod:`repro.sim.batch`) could not
+    #: carry and handed to :func:`run_forked` as scalar runs.
+    batch_retired_runs: int = 0
 
     _exposed_grid: Dict[ProtectionMode, List[int]] = field(default_factory=dict)
 

@@ -202,8 +202,11 @@ class Machine:
         interpreter kept as a semantic oracle; ``"fork"`` resumes an
         injected run from the nearest golden checkpoint in ``checkpoints``
         (a :class:`~repro.sim.fork.CheckpointStore`) and splices the golden
-        suffix back in on re-convergence.  All engines produce bit-identical
-        results under the same seeds.  A fork run with no injection targets
+        suffix back in on re-convergence; ``"batch"`` runs the plan as a
+        single lane of the vectorized lockstep engine
+        (:mod:`repro.sim.batch`), which campaigns use to execute whole
+        cells at once.  All engines produce bit-identical results under
+        the same seeds.  A fork or batch run with no injection targets
         degrades to the decoded engine (there is nothing to fork from), and
         so does a plan whose :mod:`fault model <repro.sim.models>` cannot
         resume from checkpoints (``memory-bit``) — the fallback executes
@@ -226,6 +229,17 @@ class Machine:
                     raise ValueError("engine='fork' requires a checkpoint store")
                 from .fork import run_forked
                 return run_forked(self, injection, checkpoints, max_instructions)
+            engine = "decoded"
+        if engine == "batch":
+            # A one-lane batch: campaigns batch whole cells through
+            # :func:`repro.sim.batch.run_batched`; this path keeps the
+            # per-run Machine API uniform across engines.
+            if has_targets and injection.fork_compatible:
+                if checkpoints is None:
+                    raise ValueError("engine='batch' requires a checkpoint store")
+                from .batch import run_batched
+                return run_batched(self, [injection], checkpoints,
+                                   max_instructions)[0]
             engine = "decoded"
         if engine != "decoded":
             raise ValueError(f"unknown engine {engine!r}")

@@ -4,7 +4,9 @@ The pre-decoded engine (:mod:`repro.sim.decode`) must be *bit-identical* to
 the seed ``if/elif`` interpreter preserved in :mod:`repro.sim.reference` —
 same outcome, same dynamic instruction counts, same outputs, same memory
 image, same injection events under the same plan seeds.  Every application
-is exercised with and without injections, in both protection modes.
+is exercised with and without injections, in both protection modes; the
+numpy lockstep batch engine (:mod:`repro.sim.batch`) rides the same
+comparisons as a third axis.
 
 A recorded fixture (``tests/fixtures/engine_golden_digests.json``) pins the
 golden-run behaviour of the seed interpreter, so an accidental semantic
@@ -13,6 +15,7 @@ change to *both* engines is also caught.
 
 import hashlib
 import json
+import math
 import zlib
 from pathlib import Path
 
@@ -31,8 +34,28 @@ def suite():
     return small_suite()
 
 
+def nan_equal(a, b):
+    """Recursive equality that treats two NaNs as equal.
+
+    Python's container ``==`` short-circuits on object identity, so two
+    *semantically identical* memory images can compare unequal when one
+    engine materialises a fresh ``float('nan')`` object.  Injected runs
+    legitimately produce NaN cells, so engine comparisons use this helper
+    instead of ``==`` for outputs and memory.
+    """
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (math.isnan(a) and math.isnan(b))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(
+            nan_equal(value, b[key]) for key, value in a.items())
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return (type(a) is type(b) and len(a) == len(b)
+                and all(map(nan_equal, a, b)))
+    return a == b
+
+
 def _run_pair(app, injection_seed=None, errors=0, mode=ProtectionMode.NONE):
-    """Run the same workload through both engines; return (machine, result) pairs."""
+    """Run the same workload through every engine; return (memory, result) pairs."""
     program = app.program()
     workload = app.generate_workload(0)
     pairs = {}
@@ -49,24 +72,36 @@ def _run_pair(app, injection_seed=None, errors=0, mode=ProtectionMode.NONE):
             injection=plan,
             engine=engine,
         )
-        pairs[engine] = (machine, result)
+        pairs[engine] = (machine.memory.cells, result)
+    # Batch axis: the same plan inputs through the lockstep engine (which
+    # degrades to decoded when there is nothing to inject).
+    plan = None
+    if injection_seed is not None:
+        golden = app.golden(0)
+        plan = plan_injections(errors, golden.exposed_count(mode), mode,
+                               seed=injection_seed)
+    result = app.run_once(injection=plan, seed=0, engine="batch")
+    pairs["batch"] = (result.memory.cells, result)
     return pairs
 
 
 def _assert_identical(pairs):
-    ref_machine, ref = pairs["reference"]
-    dec_machine, dec = pairs["decoded"]
-    assert dec.outcome == ref.outcome
-    assert dec.executed == ref.executed
-    assert dec.exit_value == ref.exit_value
-    assert dec.fault_kind == ref.fault_kind
-    assert dec.outputs == ref.outputs
-    assert dec.exec_counts == ref.exec_counts
-    assert dec.statistics == ref.statistics
-    assert dec_machine.memory.cells == ref_machine.memory.cells
-    if ref.injection is not None:
-        assert dec.injection.injected_errors == ref.injection.injected_errors
-        assert dec.injection.events == ref.injection.events
+    ref_cells, ref = pairs["reference"]
+    for engine in ("decoded", "batch"):
+        if engine not in pairs:
+            continue
+        cells, result = pairs[engine]
+        assert result.outcome == ref.outcome
+        assert result.executed == ref.executed
+        assert result.exit_value == ref.exit_value
+        assert result.fault_kind == ref.fault_kind
+        assert nan_equal(result.outputs, ref.outputs)
+        assert result.exec_counts == ref.exec_counts
+        assert result.statistics == ref.statistics
+        assert nan_equal(cells, ref_cells)
+        if ref.injection is not None:
+            assert result.injection.injected_errors == ref.injection.injected_errors
+            assert result.injection.events == ref.injection.events
 
 
 @pytest.mark.parametrize("name", APP_NAMES)
@@ -105,10 +140,14 @@ def test_catastrophic_paths_are_identical(suite, name):
             plan = plan_injections(40, golden.exposed_count(mode), mode, seed=seed)
             result = machine.run(max_instructions=golden.watchdog_budget,
                                  injection=plan, engine=engine)
-            runs[engine] = (machine, result)
+            runs[engine] = (machine.memory.cells, result)
+        plan = plan_injections(40, golden.exposed_count(mode), mode, seed=seed)
+        result = app.run_once(injection=plan, seed=0, engine="batch")
+        runs["batch"] = (result.memory.cells, result)
         _assert_identical(runs)
         ref = runs["reference"][1]
         assert runs["decoded"][1].fault == ref.fault
+        assert runs["batch"][1].fault == ref.fault
 
 
 def test_empty_plan_matches_golden(suite):

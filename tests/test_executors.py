@@ -18,6 +18,7 @@ from repro.apps import create_app
 from repro.core import CampaignConfig, CampaignRunner
 from repro.exec import (
     EXECUTOR_NAMES,
+    BatchExecutor,
     PoolExecutor,
     SerialExecutor,
     SocketExecutor,
@@ -66,7 +67,13 @@ def worker_addresses():
 
 class TestExecutorResolution:
     def test_registry_names(self):
-        assert set(EXECUTOR_NAMES) == {"auto", "serial", "pool", "socket"}
+        assert set(EXECUTOR_NAMES) == {"auto", "serial", "batch", "pool",
+                                       "socket"}
+
+    def test_auto_resolves_batch_for_batch_engine(self, adpcm):
+        runner = CampaignRunner(adpcm, CampaignConfig(runs=4, engine="batch"))
+        assert runner.executor_name() == "batch"
+        assert isinstance(runner.make_executor(), BatchExecutor)
 
     def test_auto_resolves_serial_below_threshold(self, adpcm):
         runner = CampaignRunner(adpcm, CampaignConfig(runs=12, parallel=4))
@@ -152,6 +159,7 @@ class TestConfigValidation:
         ({"parallel": 0}, "parallel must be >= 1"),
         ({"parallel_threshold": 0}, "parallel_threshold must be >= 1"),
         ({"workloads": 0}, "workloads must be >= 1"),
+        ({"batch_size": 0}, "batch_size must be >= 1"),
         ({"engine": "quantum"}, "unknown engine 'quantum'"),
         ({"executor": "quantum"}, "unknown executor 'quantum'"),
         ({"executor": "socket"}, "requires at least one"),
@@ -161,9 +169,9 @@ class TestConfigValidation:
             CampaignConfig(**kwargs)
 
     def test_valid_engines_and_executors_accepted(self):
-        for engine in ("fork", "decoded", "reference"):
+        for engine in ("fork", "batch", "decoded", "reference"):
             CampaignConfig(engine=engine)
-        for executor in ("auto", "serial", "pool"):
+        for executor in ("auto", "serial", "batch", "pool"):
             CampaignConfig(executor=executor)
         CampaignConfig(executor="socket", workers=["h:1"])
 
@@ -189,6 +197,62 @@ class TestSerialExecutor:
                 [(index, 4, ProtectionMode.PROTECTED) for index in (1, 3)]
             )
         assert records == [serial_records[1], serial_records[3]]
+
+
+class TestBatchExecutor:
+    def test_batch_engine_matches_serial(self, adpcm, serial_records):
+        """engine='batch' resolves to the batch executor and reproduces
+        the fork-engine reference records bit for bit."""
+        config = CampaignConfig(runs=5, base_seed=11, engine="batch")
+        cell = CampaignRunner(adpcm, config).run_campaign(
+            4, ProtectionMode.PROTECTED)
+        assert cell.records == serial_records
+
+    def test_explicit_batch_executor_forces_lockstep(self, adpcm,
+                                                     serial_records):
+        """executor='batch' batches a cell even under a scalar engine."""
+        config = CampaignConfig(runs=5, base_seed=11, executor="batch")
+        runner = CampaignRunner(adpcm, config)
+        assert isinstance(runner.make_executor(), BatchExecutor)
+        cell = runner.run_campaign(4, ProtectionMode.PROTECTED)
+        assert cell.records == serial_records
+
+    def test_batch_size_chunks_reproduce_records(self, adpcm, serial_records):
+        """Any batch_size partitioning yields the same record stream."""
+        for batch_size in (1, 2, 256):
+            config = CampaignConfig(runs=5, base_seed=11, engine="batch",
+                                    batch_size=batch_size)
+            cell = CampaignRunner(adpcm, config).run_campaign(
+                4, ProtectionMode.PROTECTED)
+            assert cell.records == serial_records
+
+    def test_state_model_falls_back_with_single_warning(self, adpcm):
+        """memory-bit corrupts machine state, so engine='batch' degrades
+        to decoded — warning once per model, not once per run or cell."""
+        import warnings
+
+        from repro.exec import base as exec_base
+
+        exec_base._BATCH_FALLBACK_WARNED.discard("memory-bit")
+        tasks = [(index, 4, ProtectionMode.PROTECTED) for index in range(4)]
+        config = CampaignConfig(runs=4, base_seed=11, engine="batch",
+                                model="memory-bit")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with SerialExecutor(adpcm, config) as executor:
+                records = executor.run(tasks)
+                again = executor.run(tasks)  # second cell: no new warning
+        fallbacks = [w for w in caught
+                     if issubclass(w.category, RuntimeWarning)
+                     and "falls back" in str(w.message)]
+        assert len(fallbacks) == 1
+        assert "memory-bit" in str(fallbacks[0].message)
+        reference = CampaignConfig(runs=4, base_seed=11, engine="decoded",
+                                   model="memory-bit")
+        with SerialExecutor(adpcm, reference) as executor:
+            expected = executor.run(tasks)
+        assert records == expected
+        assert again == expected
 
 
 class TestPoolExecutor:

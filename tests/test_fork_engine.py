@@ -9,6 +9,13 @@ statistics, injection events, fault messages — must be **bit-identical** to
 executing the same plan from scratch on the decoded engine, across all
 seven applications, both protection modes, and error counts spanning
 masked, degraded, crashed and hung outcomes.
+
+The numpy lockstep batch engine (:mod:`repro.sim.batch`) carries whole
+cells of plans along the golden trace at once and owes the decoded engine
+the exact same bit-identity, lane by lane — the second half of this module
+holds it to that across apps, modes, error counts and fault models,
+including the crash/hang/budget-overrun paths and a mid-cell
+interrupt/resume through the shard store.
 """
 
 import zlib
@@ -17,10 +24,16 @@ import pytest
 
 from repro.apps import small_suite
 from repro.core import CampaignConfig, CampaignRunner
-from repro.sim import Machine, ProtectionMode, plan_injections
+from repro.sim import Machine, ProtectionMode, get_model, plan_injections
+
+from test_engine_differential import nan_equal
 
 APP_NAMES = ["susan", "mpeg", "mcf", "blowfish", "gsm", "art", "adpcm"]
 MODES = [ProtectionMode.PROTECTED, ProtectionMode.UNPROTECTED]
+#: Fault models the batch engine can carry (fork-compatible plans); the
+#: state-kind ``memory-bit`` model falls back to decoded and is covered in
+#: ``tests/test_executors.py``.
+BATCH_MODELS = ["control-bit", "data-bit", "multi-bit", "opcode"]
 
 
 @pytest.fixture(scope="module")
@@ -180,6 +193,193 @@ def test_fork_campaigns_match_decoded_campaigns(suite):
         app, CampaignConfig(runs=8, base_seed=21, engine="fork")
     ).run_campaign(4, ProtectionMode.PROTECTED)
     assert forked.records == decoded.records
+
+
+# ----------------------------------------------------------------------
+# Batch (lockstep) engine vs the decoded engine.
+# ----------------------------------------------------------------------
+
+def _assert_lane_identical(full, batched):
+    """Byte-identity of one batch lane against its from-scratch decoded run.
+
+    Outputs and memory go through ``nan_equal``: injected float runs can
+    legitimately hold NaN, and container ``==`` would compare two distinct
+    NaN objects unequal on identity alone.
+    """
+    assert batched.outcome == full.outcome
+    assert batched.executed == full.executed
+    assert batched.exit_value == full.exit_value
+    assert batched.fault == full.fault
+    assert batched.fault_kind == full.fault_kind
+    assert nan_equal(batched.outputs, full.outputs)
+    assert batched.exec_counts == full.exec_counts
+    assert batched.statistics == full.statistics
+    assert nan_equal(batched.memory.cells, full.memory.cells)
+    assert batched.injection.injected_errors == full.injection.injected_errors
+    assert batched.injection.events == full.injection.events
+
+
+def _cell_plans(app, errors_axis, mode, model_name, seed_base):
+    """One plan per error count, derived from the model's own population."""
+    golden = app.golden(0)
+    model = get_model(model_name)
+    population = model.population(golden, mode)
+    return [plan_injections(errors, population, mode,
+                            seed=seed_base + 31 * errors, model=model_name)
+            for errors in errors_axis]
+
+
+@pytest.mark.parametrize("name", APP_NAMES)
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("model_name", BATCH_MODELS)
+def test_batched_cell_is_bit_identical(suite, name, mode, model_name):
+    """A whole {1,4,16}-error cell in one lockstep batch, lane for lane."""
+    app = suite[name]
+    seed_base = 2000 + zlib.crc32(f"{name}/{mode.value}/{model_name}".encode()) % 10000
+    plans = _cell_plans(app, (1, 4, 16), mode, model_name, seed_base)
+    assert all(plan.targets for plan in plans)
+    batched = app.run_batched(plans, seed=0)
+    assert len(batched) == len(plans)
+    for errors in (1, 4, 16):
+        full_plan, = _cell_plans(app, (errors,), mode, model_name, seed_base)
+        full = app.run_once(injection=full_plan, seed=0, engine="decoded")
+        _assert_lane_identical(full, batched[(1, 4, 16).index(errors)])
+
+
+def test_batched_catastrophic_paths_are_identical(suite):
+    """Five 40-error unprotected plans per app ride one batch; the crash
+    and hang lanes must match the decoded engine exactly, including fault
+    messages and partial memory images."""
+    outcomes = set()
+    mode = ProtectionMode.UNPROTECTED
+    for name in ("mcf", "blowfish", "gsm"):
+        app = suite[name]
+        golden = app.golden(0)
+        exposed = golden.exposed_count(mode)
+        plans = [plan_injections(40, exposed, mode, seed=seed)
+                 for seed in (1, 2, 3, 4, 5)]
+        batched = app.run_batched(plans, seed=0)
+        for seed, lane in zip((1, 2, 3, 4, 5), batched):
+            full_plan = plan_injections(40, exposed, mode, seed=seed)
+            full = app.run_once(injection=full_plan, seed=0, engine="decoded")
+            _assert_lane_identical(full, lane)
+            outcomes.add(lane.outcome)
+    assert len(outcomes) > 1, "plans produced only one outcome kind"
+
+
+def test_batch_respects_tiny_instruction_budgets(suite):
+    """A starved batch lane must hang exactly like the decoded run."""
+    app = suite["mcf"]
+    golden = app.golden(0)
+    mode = ProtectionMode.PROTECTED
+    budget = golden.executed // 2
+    exposed = golden.exposed_count(mode)
+    plans = [plan_injections(4, exposed, mode, seed=seed) for seed in (77, 78)]
+    batched = app.run_batched(plans, seed=0, max_instructions=budget)
+    for seed, lane in zip((77, 78), batched):
+        full_plan = plan_injections(4, exposed, mode, seed=seed)
+        full = app.run_once(injection=full_plan, seed=0,
+                            max_instructions=budget, engine="decoded")
+        _assert_lane_identical(full, lane)
+        assert lane.outcome == "hang"
+        assert lane.executed == budget
+
+
+def test_batch_reused_plan_still_fires_every_injection(suite):
+    """Event-laden plan objects must re-fire through the batch engine just
+    as they do through the decoded engine (see the fork twin above)."""
+    app = suite["adpcm"]
+    golden = app.golden(0)
+    mode = ProtectionMode.UNPROTECTED
+    reused = plan_injections(8, golden.exposed_count(mode), mode, seed=4711)
+    app.run_once(injection=reused, seed=0, engine="batch")
+    events_after_first = len(reused.events)
+    assert events_after_first > 0
+    batched = app.run_once(injection=reused, seed=0, engine="batch")
+    assert len(reused.events) > events_after_first
+    fresh = plan_injections(8, golden.exposed_count(mode), mode, seed=4711)
+    app.run_once(injection=fresh, seed=0, engine="decoded")   # first use
+    decoded = app.run_once(injection=fresh, seed=0, engine="decoded")  # reuse
+    assert batched.outcome == decoded.outcome
+    assert batched.executed == decoded.executed
+    assert nan_equal(batched.outputs, decoded.outputs)
+    assert batched.exec_counts == decoded.exec_counts
+    assert nan_equal(batched.memory.cells, decoded.memory.cells)
+
+
+def test_batch_engine_requires_checkpoint_store(suite):
+    app = suite["mcf"]
+    plan = plan_injections(1, app.golden(0).exposed_count(ProtectionMode.PROTECTED),
+                           ProtectionMode.PROTECTED, seed=3)
+    machine = Machine(app.program())
+    with pytest.raises(ValueError, match="checkpoint store"):
+        machine.run(injection=plan, engine="batch")
+
+
+def test_batch_engine_with_empty_plan_degrades_to_decoded(suite):
+    """Nothing to inject means nothing to batch: run the golden path."""
+    app = suite["mcf"]
+    plan = plan_injections(0, 1, ProtectionMode.NONE, seed=5)
+    result = app.run_once(injection=plan, seed=0, engine="batch")
+    golden = app.golden(0).result
+    assert result.outputs == golden.outputs
+    assert result.exec_counts == golden.exec_counts
+
+
+def test_batch_campaigns_match_decoded_campaigns(suite):
+    """Campaign records are independent of the configured engine."""
+    app = suite["adpcm"]
+    decoded = CampaignRunner(
+        app, CampaignConfig(runs=8, base_seed=21, engine="decoded")
+    ).run_campaign(4, ProtectionMode.PROTECTED)
+    batched = CampaignRunner(
+        app, CampaignConfig(runs=8, base_seed=21, engine="batch")
+    ).run_campaign(4, ProtectionMode.PROTECTED)
+    assert batched.records == decoded.records
+
+
+def test_batch_sweep_interrupted_mid_cell_resumes_bit_identically(tmp_path):
+    """Kill a batch-engine sweep mid-cell, resume it (still on the batch
+    engine), and the shard store must come out byte-identical to an
+    uninterrupted sweep on the default fork engine — batching must be
+    invisible in the persisted bytes, whatever chunk boundary it died on."""
+    from repro.core.store import ShardStore
+    from repro.experiments import ExperimentConfig, SweepOrchestrator
+
+    config = ExperimentConfig(suite_name="small", runs_per_cell=6, base_seed=29)
+    grid = {"apps": ["adpcm"], "errors_axis": [2, 6], "include_table2": False}
+
+    def run_sweep(root, engine, chunk_size, progress=None):
+        campaign = CampaignConfig(runs=config.runs_per_cell,
+                                  base_seed=config.base_seed, engine=engine)
+        orchestrator = SweepOrchestrator(ShardStore(root), config,
+                                         campaign=campaign, modes=MODES,
+                                         chunk_size=chunk_size,
+                                         progress=progress, **grid)
+        return orchestrator.run()
+
+    def store_bytes(root):
+        return {str(path.relative_to(root)): path.read_bytes()
+                for path in sorted(root.rglob("*")) if path.is_file()}
+
+    reference_root = tmp_path / "fork-reference"
+    run_sweep(reference_root, "fork", chunk_size=6)
+
+    calls = {"left": 2}
+
+    def interrupt(message):
+        calls["left"] -= 1
+        if calls["left"] <= 0:
+            raise KeyboardInterrupt(f"injected interruption at {message!r}")
+
+    batch_root = tmp_path / "batch-interrupted"
+    with pytest.raises(KeyboardInterrupt):
+        # chunk_size=4 against 6-run cells: the kill lands mid-cell.
+        run_sweep(batch_root, "batch", chunk_size=4, progress=interrupt)
+    assert store_bytes(batch_root) != store_bytes(reference_root)
+
+    run_sweep(batch_root, "batch", chunk_size=4)
+    assert store_bytes(batch_root) == store_bytes(reference_root)
 
 
 def test_checkpoint_store_is_not_pickled(suite):
