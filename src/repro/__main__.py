@@ -173,6 +173,9 @@ def _make_orchestrator(args, progress=None) -> SweepOrchestrator:
         batch_size=getattr(args, "batch_size", None) or 256,
         executor=getattr(args, "executor", "auto"),
         workers=tuple(getattr(args, "workers", None) or ()),
+        worker_secret=getattr(args, "worker_secret", None),
+        chunk_timeout=getattr(args, "chunk_timeout", None),
+        fallback=not getattr(args, "no_fallback", False),
         model=config.model,
     )
     modes = (tuple(_MODE_NAMES[name] for name in args.modes)
@@ -203,6 +206,23 @@ def _refuse_runs_under_adaptive(args, adaptive: bool) -> bool:
     return False
 
 
+def _print_fleet(fleet: dict) -> None:
+    """Per-worker transport counters, one line per address (satellite of
+    the robustness layer: fleet health must be visible without log-diving)."""
+    if not fleet:
+        return
+    print("fleet health:")
+    for address, counters in sorted((fleet.get("workers") or {}).items()):
+        print(f"  {address}: {counters.get('chunks_ok', 0)} chunks ok, "
+              f"{counters.get('retries', 0)} retries, "
+              f"{counters.get('reconnects', 0)} reconnects, "
+              f"{counters.get('failures', 0)} failures")
+    fallback_runs = fleet.get("fallback_runs", 0)
+    if fallback_runs:
+        print(f"  local fallback executed {fallback_runs} run(s) after the "
+              f"fleet was lost")
+
+
 def _cmd_sweep(args) -> int:
     orchestrator = _make_orchestrator(
         args, progress=lambda message: print(message, flush=True))
@@ -215,6 +235,7 @@ def _cmd_sweep(args) -> int:
     print(f"sweep: {report.runs_executed} runs executed, "
           f"{report.runs_reused} reused from store{discarded}; "
           f"{complete}/{report.cells_total} cells complete")
+    _print_fleet(report.fleet)
     return 0 if complete == report.cells_total else 1
 
 
@@ -241,6 +262,7 @@ def _cmd_status(args) -> int:
         print(f"adaptive: target CI ±{rule.ci_width:g} pp at "
               f"{100 * rule.confidence:g}% confidence, "
               f"{rule.floor}..{rule.cap} runs/cell")
+    _print_fleet(orchestrator.store.read_fleet_stats())
     print(f"{done_cells}/{len(statuses)} cells complete")
     return 0 if done_cells == len(statuses) else 1
 
@@ -298,9 +320,14 @@ def _cmd_figures(args) -> int:
 
 
 def _cmd_worker(args) -> int:
+    import os
+
     from .exec.worker import serve
 
-    serve(args.host, args.port, max_sessions=args.max_sessions)
+    secret = args.secret
+    if secret is None:
+        secret = os.environ.get("REPRO_WORKER_SECRET") or None
+    serve(args.host, args.port, max_sessions=args.max_sessions, secret=secret)
     return 0
 
 
@@ -323,6 +350,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", nargs="*", default=None, metavar="HOST:PORT",
                        help="socket-executor worker addresses (bracket IPv6 "
                             "hosts: '[::1]:7006')")
+    sweep.add_argument("--worker-secret", default=None, metavar="SECRET",
+                       help="shared secret authenticating the socket "
+                            "handshake; must match the workers' --secret "
+                            "(default: unauthenticated, loopback fleets "
+                            "only)")
+    sweep.add_argument("--chunk-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="hard wall-clock deadline per remote chunk "
+                            "(default: derived from the runs' watchdog "
+                            "budgets)")
+    sweep.add_argument("--no-fallback", action="store_true",
+                       help="abort (resumably) instead of degrading to "
+                            "local execution when the whole worker fleet "
+                            "is lost mid-sweep")
     sweep.add_argument("--engine", default="fork",
                        choices=["fork", "batch", "decoded", "reference"],
                        help="simulation engine (default fork)")
@@ -398,6 +439,10 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--host", default="127.0.0.1")
     worker.add_argument("--port", type=int, default=0)
     worker.add_argument("--max-sessions", type=int, default=None)
+    worker.add_argument("--secret", default=None,
+                        help="shared secret: refuse executors that cannot "
+                             "prove knowledge of it (default: "
+                             "$REPRO_WORKER_SECRET, else unauthenticated)")
     worker.set_defaults(handler=_cmd_worker)
 
     return parser

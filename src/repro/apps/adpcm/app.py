@@ -125,6 +125,9 @@ class AdpcmApp(ErrorTolerantApp):
             raise ValueError("ADPCM workload is limited to 4096 samples")
         self.samples = samples
 
+    def wire_params(self):
+        return {"samples": self.samples}
+
     def source(self) -> str:
         return ADPCM_SOURCE
 

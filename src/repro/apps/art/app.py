@@ -164,6 +164,10 @@ class ArtApp(ErrorTolerantApp):
         self.window_size = window_size
         self.stride = stride
 
+    def wire_params(self):
+        return {"image_size": self.image_size,
+                "window_size": self.window_size, "stride": self.stride}
+
     def source(self) -> str:
         return ART_SOURCE
 

@@ -179,6 +179,10 @@ class BlowfishApp(ErrorTolerantApp):
         self.text_bytes = text_bytes
         self.key_length = key_length
 
+    def wire_params(self):
+        return {"text_bytes": self.text_bytes,
+                "key_length": self.key_length}
+
     def source(self) -> str:
         return BLOWFISH_SOURCE
 

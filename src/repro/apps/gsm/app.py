@@ -194,6 +194,9 @@ class GsmApp(ErrorTolerantApp):
         self.frames = frames
         self.samples = samples
 
+    def wire_params(self):
+        return {"frames": self.frames}
+
     def source(self) -> str:
         return GSM_SOURCE
 

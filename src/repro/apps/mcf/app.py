@@ -144,6 +144,9 @@ class McfApp(ErrorTolerantApp):
             raise ValueError(f"MCF workload is limited to {MAX_TRIPS} trips")
         self.trips = trips
 
+    def wire_params(self):
+        return {"trips": self.trips}
+
     def source(self) -> str:
         return MCF_SOURCE
 

@@ -241,6 +241,10 @@ class MpegApp(ErrorTolerantApp):
         self.height = height
         self.frames = frames
 
+    def wire_params(self):
+        return {"width": self.width, "height": self.height,
+                "frames": self.frames}
+
     def source(self) -> str:
         return MPEG_SOURCE
 

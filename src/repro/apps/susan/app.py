@@ -118,6 +118,9 @@ class SusanApp(ErrorTolerantApp):
             raise AssertionError("circular mask must contain 37 offsets")
         self._mask = mask
 
+    def wire_params(self):
+        return {"width": self.width, "height": self.height}
+
     def source(self) -> str:
         return SUSAN_SOURCE
 

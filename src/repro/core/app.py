@@ -117,6 +117,18 @@ class ErrorTolerantApp(abc.ABC):
         """Functions eligible for tagging; ``None`` keeps source annotations."""
         return None
 
+    def wire_params(self) -> Dict[str, Any]:
+        """Constructor kwargs that rebuild this instance via the registry.
+
+        The socket executor's v2 wire protocol ships ``(name,
+        wire_params())`` instead of a serialized object, and the worker
+        calls ``create_app(name, **params)`` — so any subclass whose
+        constructor takes workload-shaping parameters must return them
+        here, JSON-safe, or remote workers will run the *default*
+        workload and produce records from a different campaign.
+        """
+        return {}
+
     # ------------------------------------------------------------------
     # Compilation and tagging (cached).
     # ------------------------------------------------------------------

@@ -19,8 +19,11 @@ full program execution, so the runner is built around two optimisations:
   (``executor="socket"``, ``workers=("host:port", ...)``).  Every run's
   injection plan is derived purely from ``(base_seed, run_index,
   errors)``, so the records are **bit-identical** across backends under
-  the same seeds; remote backends receive the application pre-compiled
-  and pre-warmed (golden runs cached) so they never repeat the setup work.
+  the same seeds.  Pool workers receive the application pre-compiled and
+  pre-warmed via the pool initializer; socket workers rebuild it locally
+  from the app registry (the v2 wire protocol ships only the app's name
+  and constructor parameters — nothing executable) and cache it across
+  sessions, so reconnects never repeat the setup work either.
 """
 
 from __future__ import annotations
@@ -79,6 +82,19 @@ class CampaignConfig:
     #: ``host:port`` addresses of running ``python -m repro.exec.worker``
     #: processes for the socket executor.
     workers: Tuple[str, ...] = ()
+    #: Shared secret authenticating the socket handshake (HMAC-SHA256,
+    #: mutual).  Must match the workers' ``--secret``; ``None`` skips
+    #: authentication (loopback fleets).  Never sent over the wire.
+    worker_secret: Optional[str] = None
+    #: Hard wall-clock deadline (seconds) for one remote chunk.  ``None``
+    #: derives a generous deadline from the chunk's watchdog budgets; set
+    #: it explicitly to bound tail latency on known-fast campaigns.
+    chunk_timeout: Optional[float] = None
+    #: When the socket fleet shrinks to zero mid-sweep: ``True`` (default)
+    #: degrades to local in-process execution with one loud warning —
+    #: records stay bit-identical; ``False`` aborts the sweep with
+    #: :class:`~repro.exec.FleetLostError` instead (resumable later).
+    fallback: bool = True
     #: Fault model every injection plan of the campaign uses
     #: (:mod:`repro.sim.models`; see ``docs/FAULT_MODELS.md``).  The default
     #: ``"control-bit"`` is the paper's single result-bit flip and is
@@ -112,6 +128,11 @@ class CampaignConfig:
         if self.batch_size < 1:
             raise ValueError(
                 f"CampaignConfig.batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise ValueError(
+                f"CampaignConfig.chunk_timeout must be > 0 (or None for "
+                f"watchdog-derived deadlines), got {self.chunk_timeout}"
             )
         get_model(self.model)  # raises ValueError on unknown model names
         if self.engine == "reference" and self.model != "control-bit":

@@ -43,6 +43,11 @@ from .stats import StoppingRule
 
 META_FILENAME = "meta.json"
 
+#: Fleet-health sidecar written next to ``meta.json`` by distributed
+#: sweeps.  Operational telemetry only — never part of the record-stream
+#: byte-identity contract (comparisons exclude it).
+FLEET_FILENAME = "fleet.json"
+
 #: The default fault model, elided from shard filenames and assumed for
 #: pre-model stores whose ``meta.json`` has no ``model`` key.
 DEFAULT_MODEL = "control-bit"
@@ -247,6 +252,42 @@ class ShardStore:
             handle.write(payload)
             handle.flush()
             os.fsync(handle.fileno())
+
+    # ------------------------------------------------------------------
+    # Fleet health telemetry (distributed sweeps).
+    # ------------------------------------------------------------------
+    @property
+    def fleet_path(self) -> Path:
+        """Path of the store's ``fleet.json`` fleet-health sidecar."""
+        return self.root / FLEET_FILENAME
+
+    def read_fleet_stats(self) -> Dict:
+        """Accumulated fleet-health counters, ``{}`` when never written."""
+        if not self.fleet_path.exists():
+            return {}
+        return json.loads(self.fleet_path.read_text())
+
+    def record_fleet_stats(self, stats: Dict) -> None:
+        """Merge one sweep's fleet counters into ``fleet.json``.
+
+        Counters accumulate across resumed sessions (a worker that needed
+        three reconnects over two sessions shows three), keyed per worker
+        address, plus the store-wide ``fallback_runs`` tally of runs the
+        socket executor had to execute locally after losing its fleet.
+        Written atomically like ``meta.json``.
+        """
+        merged = self.read_fleet_stats()
+        workers = merged.setdefault("workers", {})
+        for address, counters in (stats.get("workers") or {}).items():
+            slot = workers.setdefault(address, {})
+            for key, value in counters.items():
+                slot[key] = slot.get(key, 0) + value
+        merged["fallback_runs"] = (merged.get("fallback_runs", 0)
+                                   + stats.get("fallback_runs", 0))
+        self.root.mkdir(parents=True, exist_ok=True)
+        scratch = self.fleet_path.with_suffix(".json.tmp")
+        scratch.write_text(json.dumps(merged, sort_keys=True, indent=2) + "\n")
+        os.replace(scratch, self.fleet_path)
 
     # ------------------------------------------------------------------
     # Aggregate views consumed by the tables/figures harness.

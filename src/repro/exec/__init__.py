@@ -20,7 +20,18 @@ from __future__ import annotations
 
 from .base import Executor, RunTask, make_record, make_records
 from .local import BatchExecutor, PoolExecutor, SerialExecutor
-from .tcp import SocketExecutor, WorkerTaskError, parse_worker_address
+from .tcp import (
+    PROTOCOL_VERSION,
+    ChunkDeadlineError,
+    FleetLostError,
+    FrameTooLargeError,
+    HandshakeError,
+    HeartbeatTimeout,
+    ProtocolError,
+    SocketExecutor,
+    WorkerTaskError,
+    parse_worker_address,
+)
 
 #: Registry of executor backends by config name.
 EXECUTORS = {
@@ -73,10 +84,17 @@ def create_executor(app, config, name=None) -> Executor:
 
 __all__ = [
     "BatchExecutor",
+    "ChunkDeadlineError",
     "EXECUTORS",
     "EXECUTOR_NAMES",
     "Executor",
+    "FleetLostError",
+    "FrameTooLargeError",
+    "HandshakeError",
+    "HeartbeatTimeout",
+    "PROTOCOL_VERSION",
     "PoolExecutor",
+    "ProtocolError",
     "RunTask",
     "SerialExecutor",
     "SocketExecutor",

@@ -76,8 +76,8 @@ class PoolExecutor(Executor):
 
     Workers receive the app warm (program compiled, goldens cached) via the
     pool initializer and rebuild fork-engine checkpoint stores locally on
-    first use — the snapshots are deliberately stripped from the pickled
-    payload.  Results come back in task order.
+    first use — the snapshots are deliberately stripped from the payload
+    the pool ships to its workers.  Results come back in task order.
     """
 
     name = "pool"
@@ -90,7 +90,7 @@ class PoolExecutor(Executor):
         if self._pool is None:
             # Never spawn more workers than a cell has runs: each idle
             # worker would still pay interpreter spawn + warm-app
-            # unpickling in the initializer for nothing.
+            # deserialization in the initializer for nothing.
             self._pool = ProcessPoolExecutor(
                 max_workers=max(1, min(self.config.parallel, self.config.runs)),
                 initializer=_campaign_worker_init,

@@ -105,6 +105,13 @@ class SweepReport:
     #: chunked execution; bounded by ``chunk_size - 1`` per cell).
     runs_discarded: int = 0
     statuses: List[SweepStatus] = field(default_factory=list)
+    #: Distributed sweeps only: per-worker transport counters
+    #: (``chunks_ok``/``retries``/``reconnects``/``failures`` keyed by
+    #: address under ``"workers"``) plus the ``"fallback_runs"`` count of
+    #: runs executed locally after the fleet was lost.  Empty for
+    #: in-process backends.  Also accumulated into the store's
+    #: ``fleet.json`` so later ``status`` calls can surface it.
+    fleet: Dict = field(default_factory=dict)
 
 
 def grid_errors_axis(app: ErrorTolerantApp,
@@ -318,10 +325,11 @@ class SweepOrchestrator:
             if not pending:
                 continue
             runner = CampaignRunner(suite[app_name], self.campaign_config)
-            # Warm the goldens *before* the executor starts: pool and socket
-            # backends pickle the application at start-up, and a warm app
-            # ships its exposed-dynamic counts so workers never re-run the
-            # golden executions.
+            # Warm the goldens *before* the executor starts: the pool
+            # backend serializes the warm application to its workers at
+            # start-up, and a warm app carries the exposed-dynamic counts
+            # every injection plan needs; deadline derivation in the
+            # socket backend reads the same cached golden budgets.
             runner.warm_goldens()
             with runner.make_executor() as executor:
                 for cell, missing in pending:
@@ -342,8 +350,35 @@ class SweepOrchestrator:
                             f"{cell.app_name} {cell.mode.value} "
                             f"e={cell.errors}: {done}/{runs}"
                         )
+                self._collect_fleet(executor, report)
         report.statuses = self.status()
         return report
+
+    def _collect_fleet(self, executor, report: SweepReport) -> None:
+        """Fold one executor's fleet-health counters into the report/store.
+
+        Collected *inside* the executor context (connections are still
+        accounted), once per application group.  In-process backends have
+        no ``fleet_stats`` and are skipped; all-zero fleets are too, so
+        purely local sweeps never grow a ``fleet.json``.
+        """
+        stats_fn = getattr(executor, "fleet_stats", None)
+        if stats_fn is None:
+            return
+        stats = stats_fn()
+        interesting = (stats.get("fallback_runs", 0)
+                       or any(any(counters.values()) for counters
+                              in (stats.get("workers") or {}).values()))
+        if not interesting:
+            return
+        workers = report.fleet.setdefault("workers", {})
+        for address, counters in (stats.get("workers") or {}).items():
+            slot = workers.setdefault(address, {})
+            for key, value in counters.items():
+                slot[key] = slot.get(key, 0) + value
+        report.fleet["fallback_runs"] = (report.fleet.get("fallback_runs", 0)
+                                         + stats.get("fallback_runs", 0))
+        self.store.record_fleet_stats(stats)
 
     def _run_adaptive_cell(self, runner: CampaignRunner, executor,
                            cell: SweepCell, counts: Tuple[int, int, int],

@@ -42,12 +42,13 @@ def serial_records(adpcm):
     return runner.run_campaign(4, ProtectionMode.PROTECTED).records
 
 
-def _spawn_worker(tmp_env=None):
+def _spawn_worker(*extra_args):
     """Start ``python -m repro.exec.worker`` and return (process, address)."""
     env = dict(os.environ)
     env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
     process = subprocess.Popen(
-        [sys.executable, "-m", "repro.exec.worker", "--port", "0"],
+        [sys.executable, "-m", "repro.exec.worker", "--port", "0",
+         *extra_args],
         stdout=subprocess.PIPE, text=True, env=env,
     )
     banner = process.stdout.readline().strip()
@@ -163,6 +164,8 @@ class TestConfigValidation:
         ({"engine": "quantum"}, "unknown engine 'quantum'"),
         ({"executor": "quantum"}, "unknown executor 'quantum'"),
         ({"executor": "socket"}, "requires at least one"),
+        ({"chunk_timeout": 0}, "chunk_timeout must be > 0"),
+        ({"chunk_timeout": -2.5}, "chunk_timeout must be > 0"),
     ])
     def test_invalid_configs_raise(self, kwargs, match):
         with pytest.raises(ValueError, match=match):
@@ -286,9 +289,275 @@ class TestSocketExecutor:
         for socket_cell, serial_cell in zip(sweep.cells, reference.cells):
             assert socket_cell.records == serial_cell.records
 
-    def test_connect_failure_is_reported(self, adpcm):
+    def test_connect_failure_is_reported_without_fallback(self, adpcm):
         config = CampaignConfig(runs=2, executor="socket",
-                                workers=("127.0.0.1:1",))
+                                workers=("127.0.0.1:1",), fallback=False)
         executor = SocketExecutor(adpcm, config, connect_timeout=0.5)
-        with pytest.raises(OSError):
+        with pytest.raises(OSError, match="no socket workers reachable"):
             executor.start()
+
+    def test_connect_failure_degrades_locally_by_default(self, adpcm,
+                                                         serial_records):
+        """Graceful degradation: an unreachable fleet produces the same
+        records in-process, with exactly one loud warning."""
+        import warnings
+
+        config = CampaignConfig(runs=5, base_seed=11, executor="socket",
+                                workers=("127.0.0.1:1",))
+        tasks = [(index, 4, ProtectionMode.PROTECTED) for index in range(5)]
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with SocketExecutor(adpcm, config, connect_timeout=0.5) as executor:
+                records = executor.run(tasks)
+                again = executor.run(tasks)  # still local, still no new warning
+                stats = executor.fleet_stats()
+        fleet_warnings = [w for w in caught
+                          if "falling back to local" in str(w.message)]
+        assert len(fleet_warnings) == 1
+        assert records == serial_records
+        assert again == serial_records
+        assert stats["fallback_runs"] == 10
+
+
+class _ScriptedWorker:
+    """Minimal in-test v2 worker whose post-handshake behaviour is a
+    callable — the executor-facing failure modes (hangs, version skew)
+    that a healthy real worker cannot exhibit."""
+
+    def __init__(self, behaviour, sessions=1):
+        import socket as socket_module
+        import threading
+
+        self._socket = socket_module
+        self.server = socket_module.create_server(("127.0.0.1", 0))
+        self.address = "127.0.0.1:%d" % self.server.getsockname()[1]
+        self._thread = threading.Thread(
+            target=self._serve, args=(behaviour, sessions), daemon=True)
+        self._thread.start()
+
+    def _serve(self, behaviour, sessions):
+        for _ in range(sessions):
+            try:
+                connection, _address = self.server.accept()
+            except OSError:
+                return
+            with connection:
+                try:
+                    behaviour(connection)
+                except (OSError, ConnectionError):
+                    pass
+        self.server.close()
+
+    def close(self):
+        try:
+            self.server.close()
+        except OSError:
+            pass
+
+
+class TestSocketRobustness:
+    """Liveness and handshake-failure behaviour of the v2 wire protocol."""
+
+    def _fast_executor(self, app, config, **kwargs):
+        kwargs.setdefault("connect_timeout", 5.0)
+        kwargs.setdefault("heartbeat_interval", 0.2)
+        kwargs.setdefault("reconnect_attempts", 1)
+        kwargs.setdefault("reconnect_base", 0.01)
+        return SocketExecutor(app, config, **kwargs)
+
+    def test_hung_worker_is_detected_and_degraded_around(self, adpcm,
+                                                         serial_records):
+        """Satellite: a worker that accepts a chunk and never replies —
+        no records, no heartbeats — must trip the heartbeat timeout, not
+        stall the cell forever (the settimeout(None) hang of protocol
+        v1)."""
+        import warnings
+
+        from repro.exec import worker as worker_module
+        from repro.exec.tcp import recv_frame, send_frame
+
+        def accept_chunk_then_hang(connection):
+            worker_module._handshake(connection, None)
+            assert recv_frame(connection)["kind"] == "init"
+            send_frame(connection, {"kind": "init-ok"})
+            assert recv_frame(connection)["kind"] == "run"
+            # Never reply; hold the socket open until the executor
+            # gives up and closes it.
+            while recv_frame(connection) is not None:
+                pass
+
+        hung = _ScriptedWorker(accept_chunk_then_hang)
+        config = CampaignConfig(runs=5, base_seed=11, executor="socket",
+                                workers=(hung.address,))
+        tasks = [(index, 4, ProtectionMode.PROTECTED) for index in range(5)]
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                with self._fast_executor(adpcm, config) as executor:
+                    records = executor.run(tasks)
+                    stats = executor.fleet_stats()
+        finally:
+            hung.close()
+        assert records == serial_records
+        assert any("falling back to local" in str(w.message) for w in caught)
+        assert stats["workers"][hung.address]["retries"] >= 1
+        assert stats["fallback_runs"] == 5
+
+    def test_hung_worker_without_fallback_raises(self, adpcm):
+        from repro.exec import FleetLostError
+        from repro.exec import worker as worker_module
+        from repro.exec.tcp import recv_frame, send_frame
+
+        def accept_chunk_then_hang(connection):
+            worker_module._handshake(connection, None)
+            recv_frame(connection)
+            send_frame(connection, {"kind": "init-ok"})
+            recv_frame(connection)
+            while recv_frame(connection) is not None:
+                pass
+
+        hung = _ScriptedWorker(accept_chunk_then_hang)
+        config = CampaignConfig(runs=5, base_seed=11, executor="socket",
+                                workers=(hung.address,), fallback=False)
+        tasks = [(index, 4, ProtectionMode.PROTECTED) for index in range(5)]
+        try:
+            with self._fast_executor(adpcm, config) as executor:
+                with pytest.raises(FleetLostError, match="fallback disabled"):
+                    executor.run(tasks)
+        finally:
+            hung.close()
+
+    def test_version_mismatch_is_actionable_client_side(self, adpcm):
+        """A peer speaking another protocol version is refused with a
+        message naming both versions — never retried, never degraded."""
+        from repro.exec import HandshakeError
+        from repro.exec.tcp import recv_frame, send_frame
+
+        def old_protocol(connection):
+            assert recv_frame(connection)["kind"] == "hello"
+            send_frame(connection, {"kind": "welcome", "protocol": 1,
+                                    "nonce": "00", "auth": None})
+            while recv_frame(connection) is not None:
+                pass
+
+        stale = _ScriptedWorker(old_protocol)
+        config = CampaignConfig(runs=2, executor="socket",
+                                workers=(stale.address,))
+        try:
+            executor = self._fast_executor(adpcm, config)
+            with pytest.raises(HandshakeError,
+                               match=r"v1.*v2|speaks wire protocol"):
+                executor.start()
+        finally:
+            stale.close()
+
+    def test_version_mismatch_is_actionable_worker_side(self,
+                                                        worker_addresses):
+        """A real worker refuses a future-versioned hello with an error
+        frame naming both versions."""
+        import socket as socket_module
+
+        from repro.exec.tcp import recv_frame, send_frame
+
+        with socket_module.create_connection(
+                parse_worker_address(worker_addresses[0]), timeout=10.0) as sock:
+            send_frame(sock, {"kind": "hello", "protocol": 99,
+                              "nonce": "00"})
+            frame = recv_frame(sock)
+        assert frame["kind"] == "error"
+        assert "version mismatch" in frame["message"]
+        assert "v99" in frame["message"] and "v2" in frame["message"]
+
+    def test_secret_required_by_worker_is_actionable(self, adpcm):
+        from repro.exec import HandshakeError
+
+        process, address = _spawn_worker("--secret", "sesame")
+        config = CampaignConfig(runs=2, executor="socket",
+                                workers=(address,))
+        try:
+            with pytest.raises(HandshakeError, match="requires a shared "
+                                                     "secret"):
+                SocketExecutor(adpcm, config).start()
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
+
+    def test_wrong_secret_is_actionable(self, adpcm):
+        from repro.exec import HandshakeError
+
+        process, address = _spawn_worker("--secret", "sesame")
+        config = CampaignConfig(runs=2, executor="socket",
+                                workers=(address,), worker_secret="wrong")
+        try:
+            with pytest.raises(HandshakeError, match="HMAC verification"):
+                SocketExecutor(adpcm, config).start()
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
+
+    def test_matching_secret_authenticates_and_runs(self, adpcm,
+                                                    serial_records):
+        process, address = _spawn_worker("--secret", "sesame")
+        config = CampaignConfig(runs=5, base_seed=11, executor="socket",
+                                workers=(address,), worker_secret="sesame")
+        tasks = [(index, 4, ProtectionMode.PROTECTED) for index in range(5)]
+        try:
+            with SocketExecutor(adpcm, config) as executor:
+                assert executor.run(tasks) == serial_records
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
+
+    def test_unauthenticated_worker_rejects_credentialed_executor(
+            self, adpcm, worker_addresses):
+        from repro.exec import HandshakeError
+
+        config = CampaignConfig(runs=2, executor="socket",
+                                workers=(worker_addresses[0],),
+                                worker_secret="sesame")
+        with pytest.raises(HandshakeError, match="did not authenticate"):
+            SocketExecutor(adpcm, config).start()
+
+
+class TestWireFraming:
+    def test_oversized_frame_rejected_before_send(self, monkeypatch):
+        """Satellite: the size check runs on the *send* side — emitting
+        the frame and letting the peer drop it mid-read would desync the
+        stream for both peers."""
+        from repro.exec import tcp
+
+        monkeypatch.setattr(tcp, "MAX_FRAME_BYTES", 64)
+        with pytest.raises(tcp.FrameTooLargeError, match="protocol limit"):
+            tcp.encode_frame({"kind": "records", "records": ["x" * 256]})
+
+    def test_corrupt_payload_fails_crc(self):
+        import socket as socket_module
+
+        from repro.exec import tcp
+
+        frame = bytearray(tcp.encode_frame({"kind": "heartbeat"}))
+        frame[-1] ^= 0xFF
+        left, right = socket_module.socketpair()
+        with left, right:
+            left.sendall(bytes(frame))
+            left.close()
+            with pytest.raises(tcp.ProtocolError, match="CRC32"):
+                tcp.recv_frame(right)
+
+    def test_close_tolerates_serialization_errors(self):
+        """Satellite: teardown runs on error paths, so close() must
+        swallow *any* failure to send the goodbye — not just OSError —
+        or it would mask the original campaign exception."""
+        from repro.exec.tcp import _WorkerConnection
+
+        class ExplodingSocket:
+            def sendall(self, data):
+                raise ValueError("serialization failure mid-goodbye")
+
+            def close(self):
+                raise OSError("already torn down")
+
+        connection = _WorkerConnection.__new__(_WorkerConnection)
+        connection.address = "test:1"
+        connection.sock = ExplodingSocket()
+        connection.close()  # must not raise

@@ -67,10 +67,16 @@ GRID = {"apps": ["adpcm"], "errors_axis": [0, 2, 6], "include_table2": False}
 
 
 def store_bytes(store: ShardStore):
-    """Relative path -> file bytes for every file in the store."""
+    """Relative path -> file bytes for every file in the store.
+
+    ``fleet.json`` is excluded: it is operational telemetry about *how*
+    a distributed sweep ran (retries, reconnects, fallbacks), explicitly
+    outside the byte-identity contract the records and meta carry.
+    """
     return {
         str(path.relative_to(store.root)): path.read_bytes()
-        for path in sorted(store.root.rglob("*")) if path.is_file()
+        for path in sorted(store.root.rglob("*"))
+        if path.is_file() and path.name != "fleet.json"
     }
 
 
