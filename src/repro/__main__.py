@@ -5,18 +5,35 @@ Commands:
 * ``sweep``   — run (or resume) the paper's experiment grid into a shard
   store, on any executor backend and under any fault model (``--model``,
   see docs/FAULT_MODELS.md);
+* ``serve``   — run the campaign daemon: accept campaign specs over
+  HTTP/JSON, schedule them across registered workers, and serve
+  already-computed cells straight from its content-addressed store;
+* ``submit``  — submit a campaign spec to a running daemon;
 * ``status``  — show per-cell progress of a store's grid;
 * ``tables``  — regenerate the paper's tables from a store;
 * ``figures`` — regenerate the paper's figures from a store;
 * ``worker``  — run a TCP campaign worker (alias of
   ``python -m repro.exec.worker``).
 
+Every command builds a :class:`~repro.service.spec.CampaignSpec` from
+its flags (and the store's pinned metadata) and acts through the
+:mod:`repro.api` facade, so the CLI, the daemon's HTTP API and library
+callers share one code path.  ``--json`` on any command switches both
+success summaries and errors to machine-readable JSON on stdout.
+
 A distributed sweep is two shell lines per host plus one orchestrator::
 
-    host-a$ python -m repro worker --host 0.0.0.0 --port 7006
-    host-b$ python -m repro worker --host 0.0.0.0 --port 7006
+    host-a$ python -m repro worker --listen 0.0.0.0:7006
+    host-b$ python -m repro worker --listen 0.0.0.0:7006
     main$   python -m repro sweep --store runs/ --executor socket \\
                 --workers host-a:7006 host-b:7006
+
+or, as a service — workers find the daemon, clients only need the URL::
+
+    main$   python -m repro serve --store cache/ --listen 0.0.0.0:8340
+    host-a$ python -m repro worker --register http://main:8340 \\
+                --listen 0.0.0.0:7006 --advertise host-a:7006
+    any$    python -m repro submit --url http://main:8340 --suite small
 
 Interrupt the orchestrator at any point and re-run the same command (or
 the same command on a different backend): it resumes exactly where the
@@ -26,21 +43,20 @@ store left off.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
-from .core import CampaignConfig, ShardStore, StoppingRule
+from .api import build_orchestrator
+from .api import figures as api_figures
+from .api import submit as api_submit
+from .api import tables as api_tables
+from .core import ShardStore, StoppingRule
 from .core.store import MissingCellError
-from .experiments import (
-    ALL_FIGURES,
-    ExperimentConfig,
-    GRID_MODES,
-    SweepOrchestrator,
-    table1_applications,
-    table2_catastrophic_failures,
-    table3_low_reliability_instructions,
-    table4_fault_models,
-)
+from .experiments import ALL_FIGURES, ExperimentConfig
+from .experiments.sweep import GRID_MODES
+from .service.client import ServiceError
+from .service.spec import CampaignSpec
 from .sim import FAULT_MODELS, MODEL_NAMES
 
 _MODE_NAMES = {mode.value: mode for mode in GRID_MODES}
@@ -92,6 +108,12 @@ def _add_store_argument(parser: argparse.ArgumentParser) -> None:
                         help="shard-store directory (created if missing)")
 
 
+def _add_json_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--json", action="store_true",
+                        help="emit a machine-readable JSON summary (and "
+                             "JSON errors) on stdout instead of prose")
+
+
 def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--suite", choices=["small", "standard"], default=None,
                         help="workload suite (default: store meta or 'small')")
@@ -120,7 +142,37 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
                              "See docs/FAULT_MODELS.md.")
 
 
-def _stopping_rule(args, store: ShardStore) -> Optional[StoppingRule]:
+def _add_adaptive_arguments(parser: argparse.ArgumentParser) -> None:
+    adaptive = parser.add_argument_group(
+        "adaptive sampling",
+        "Spend runs per cell until the failure-rate and acceptable-rate "
+        "Wilson intervals converge instead of using a fixed --runs; the "
+        "store's meta.json pins the rule, so resuming an adaptive store "
+        "needs no flags at all.  See docs/ARCHITECTURE.md.")
+    adaptive.add_argument("--adaptive", action="store_true",
+                          help="plan each cell adaptively with the "
+                               "sequential stopping rule")
+    adaptive.add_argument("--ci-width", type=float, default=None,
+                          metavar="PP",
+                          help="target CI half-width in percentage points "
+                               "(default: store meta or 2.5; implies "
+                               "--adaptive)")
+    adaptive.add_argument("--min-runs", type=int, default=None, metavar="N",
+                          help="run floor per cell before the rule may stop "
+                               "(default: store meta or 8; implies "
+                               "--adaptive)")
+    adaptive.add_argument("--max-runs", type=int, default=None, metavar="N",
+                          help="run cap per cell, converged or not "
+                               "(default: store meta or 64; implies "
+                               "--adaptive)")
+    adaptive.add_argument("--confidence", type=float, default=None,
+                          metavar="C",
+                          help="two-sided confidence level of the monitored "
+                               "intervals (default: store meta or 0.95; "
+                               "implies --adaptive)")
+
+
+def _stopping_rule(args, store: Optional[ShardStore]) -> Optional[StoppingRule]:
     """The adaptive stopping rule the command runs under, if any.
 
     Adaptive mode engages when the user asks for it (``--adaptive`` or
@@ -158,38 +210,59 @@ def _stopping_rule(args, store: ShardStore) -> Optional[StoppingRule]:
     return StoppingRule(**kwargs)
 
 
-def _make_orchestrator(args, progress=None) -> SweepOrchestrator:
-    store, config = _open_store(args)
-    stopping = _stopping_rule(args, store)
-    # CampaignConfig.runs feeds the auto executor resolution (a pool only
-    # engages for cells of >= parallel_threshold runs).  Adaptive cells
-    # can grow to the rule's cap, so the cap — not the fixed-mode default
-    # — is the honest cell size to resolve `--parallel` against.
-    campaign = CampaignConfig(
-        runs=stopping.cap if stopping is not None else config.runs_per_cell,
+def _campaign_spec(args, config: ExperimentConfig,
+                   stopping: Optional[StoppingRule]) -> CampaignSpec:
+    """The :class:`CampaignSpec` a command's flags (and meta) resolve to.
+
+    The one place CLI flags become spec fields — ``sweep``, ``status``
+    and ``submit`` all come through here, so the spec a daemon receives
+    from ``submit --url`` describes exactly the campaign ``sweep`` would
+    run locally with the same flags.
+    """
+    kwargs = {}
+    if stopping is None:
+        kwargs["runs_per_cell"] = config.runs_per_cell
+    if args.modes:
+        kwargs["modes"] = tuple(args.modes)
+    return CampaignSpec(
+        suite=config.suite_name,
         base_seed=config.base_seed,
-        parallel=getattr(args, "parallel", 1),
-        engine=getattr(args, "engine", "fork"),
-        batch_size=getattr(args, "batch_size", None) or 256,
-        executor=getattr(args, "executor", "auto"),
-        workers=tuple(getattr(args, "workers", None) or ()),
-        worker_secret=getattr(args, "worker_secret", None),
-        chunk_timeout=getattr(args, "chunk_timeout", None),
-        fallback=not getattr(args, "no_fallback", False),
         model=config.model,
+        stopping=stopping,
+        apps=tuple(args.apps) if args.apps else None,
+        errors=tuple(args.errors) if args.errors else None,
+        include_table2=not args.no_table2_points,
+        **kwargs,
     )
-    modes = (tuple(_MODE_NAMES[name] for name in args.modes)
-             if args.modes else GRID_MODES)
-    return SweepOrchestrator(
-        store, config, campaign=campaign, apps=args.apps, modes=modes,
-        errors_axis=args.errors, include_table2=not args.no_table2_points,
-        chunk_size=getattr(args, "chunk_size", 16),
-        stopping=stopping, progress=progress,
-    )
+
+
+def _emit_json(payload) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _print_cli_error(error: Exception, as_json: bool = False) -> int:
+    # The guidance message ("run `python -m repro sweep` first", "refusing
+    # to resume with ...", config validation) is the whole point; a raw
+    # traceback would bury it.  Under --json the same message ships as a
+    # JSON object on stdout so pipelines always parse one stream.
+    if as_json:
+        _emit_json({"error": str(error), "kind": type(error).__name__})
+    else:
+        print(f"error: {error}", file=sys.stderr)
+    return 1
+
+
+def _usage_error(args, message: str) -> int:
+    """Report a flag-level mistake (exit 2, JSON-aware)."""
+    if getattr(args, "json", False):
+        _emit_json({"error": message, "kind": "UsageError"})
+    else:
+        print(f"error: {message}", file=sys.stderr)
+    return 2
 
 
 def _refuse_runs_under_adaptive(args, adaptive: bool) -> bool:
-    """True (after printing the error) when ``--runs`` meets adaptive mode.
+    """True (after reporting) when ``--runs`` meets adaptive mode.
 
     Adaptive cell sizes come from the stopping rule; silently ignoring an
     explicit ``--runs`` would let the user believe they fixed (or queried
@@ -198,12 +271,40 @@ def _refuse_runs_under_adaptive(args, adaptive: bool) -> bool:
     cells with a "resume the sweep" hint that can never succeed.
     """
     if adaptive and args.runs is not None:
-        print("error: --runs conflicts with an adaptive store (the pinned "
-              "stopping rule sizes each cell); drop --runs (sweep takes "
-              "--min-runs/--max-runs instead)",
-              file=sys.stderr)
+        _usage_error(args,
+                     "--runs conflicts with an adaptive store (the pinned "
+                     "stopping rule sizes each cell); drop --runs (sweep "
+                     "takes --min-runs/--max-runs instead)")
         return True
     return False
+
+
+def _resolve_listen(args, default_host: str,
+                    default_port: int) -> Optional[Tuple[str, int]]:
+    """``--listen HOST:PORT`` with legacy ``--host``/``--port`` support.
+
+    Returns ``None`` (after reporting) on a malformed address.  The
+    legacy spellings keep working but warn: ``--listen`` is the one
+    spelling shared by ``worker`` and ``serve``.
+    """
+    from .exec import parse_listen_address
+
+    host, port = default_host, default_port
+    if getattr(args, "host", None) is not None or \
+            getattr(args, "port", None) is not None:
+        print("warning: --host/--port are deprecated; use --listen "
+              "HOST:PORT", file=sys.stderr)
+        if args.host is not None:
+            host = args.host
+        if args.port is not None:
+            port = args.port
+    if args.listen is not None:
+        try:
+            host, port = parse_listen_address(args.listen)
+        except ValueError as error:
+            _usage_error(args, str(error))
+            return None
+    return host, port
 
 
 def _print_fleet(fleet: dict) -> None:
@@ -223,33 +324,84 @@ def _print_fleet(fleet: dict) -> None:
               f"fleet was lost")
 
 
+def _print_job_summary(job: dict) -> None:
+    """Human one-liner for a job-status payload (sweep and submit)."""
+    report = job.get("report") or {}
+    discarded = (f", {report['runs_discarded']} past convergence discarded"
+                 if report.get("runs_discarded") else "")
+    print(f"sweep: {report.get('runs_executed', 0)} runs executed, "
+          f"{report.get('runs_reused', 0)} reused from store{discarded}; "
+          f"{report.get('cells_complete', 0)}/{report.get('cells_total', 0)} "
+          f"cells complete")
+    _print_fleet(report.get("fleet") or {})
+
+
+def _resolve_sweep_secret(args) -> Optional[str]:
+    """``--secret`` with legacy ``--worker-secret`` support (warned)."""
+    if args.worker_secret is not None:
+        print("warning: --worker-secret is deprecated; use --secret "
+              "(the same spelling the worker takes)", file=sys.stderr)
+    if args.secret is not None:
+        return args.secret
+    return args.worker_secret
+
+
 def _cmd_sweep(args) -> int:
-    orchestrator = _make_orchestrator(
-        args, progress=lambda message: print(message, flush=True))
-    if _refuse_runs_under_adaptive(args, orchestrator.stopping is not None):
+    store, config = _open_store(args)
+    stopping = _stopping_rule(args, store)
+    if _refuse_runs_under_adaptive(args, stopping is not None):
         return 2
-    report = orchestrator.run()
-    complete = sum(1 for status in report.statuses if status.complete)
-    discarded = (f", {report.runs_discarded} past convergence discarded"
-                 if report.runs_discarded else "")
-    print(f"sweep: {report.runs_executed} runs executed, "
-          f"{report.runs_reused} reused from store{discarded}; "
-          f"{complete}/{report.cells_total} cells complete")
-    _print_fleet(report.fleet)
-    return 0 if complete == report.cells_total else 1
+    spec = _campaign_spec(args, config, stopping)
+    progress = (None if args.json
+                else lambda message: print(message, flush=True))
+    job = api_submit(
+        spec, store, progress=progress, chunk_size=args.chunk_size,
+        executor=args.executor, parallel=args.parallel, engine=args.engine,
+        batch_size=args.batch_size or 256,
+        workers=tuple(args.workers or ()),
+        worker_secret=_resolve_sweep_secret(args),
+        chunk_timeout=args.chunk_timeout, fallback=not args.no_fallback,
+    )
+    if args.json:
+        _emit_json(job)
+    else:
+        _print_job_summary(job)
+    return 0 if job["state"] == "complete" else 1
 
 
 def _cmd_status(args) -> int:
-    orchestrator = _make_orchestrator(args)
-    if _refuse_runs_under_adaptive(args, orchestrator.stopping is not None):
+    store, config = _open_store(args)
+    stopping = _stopping_rule(args, store)
+    if _refuse_runs_under_adaptive(args, stopping is not None):
         return 2
-    statuses = orchestrator.status()
-    adaptive = orchestrator.stopping is not None
-    done_cells = 0
+    spec = _campaign_spec(args, config, stopping)
+    statuses = build_orchestrator(spec, store).status()
+    adaptive = stopping is not None
+    done_cells = sum(status.complete for status in statuses)
+    if args.json:
+        payload = {
+            "cells": [
+                {
+                    "app": status.cell.app_name,
+                    "mode": status.cell.mode.value,
+                    "errors": status.cell.errors,
+                    "done": status.done,
+                    "total": status.total,
+                    "complete": status.complete,
+                    "ci_half_width": status.ci_half_width,
+                }
+                for status in statuses
+            ],
+            "cells_complete": done_cells,
+            "cells_total": len(statuses),
+            "adaptive": stopping.as_meta() if adaptive else None,
+            "fleet": store.read_fleet_stats(),
+        }
+        _emit_json(payload)
+        return 0 if done_cells == len(statuses) else 1
     for status in statuses:
         cell = status.cell
         marker = "done" if status.complete else "...."
-        done_cells += status.complete
         line = (f"  [{marker}] {cell.app_name:10s} {cell.mode.value:12s} "
                 f"e={cell.errors:<6d} {status.done}/{status.total}")
         if adaptive:
@@ -258,11 +410,10 @@ def _cmd_status(args) -> int:
             line += f"  failure CI {width}"
         print(line)
     if adaptive:
-        rule = orchestrator.stopping
-        print(f"adaptive: target CI ±{rule.ci_width:g} pp at "
-              f"{100 * rule.confidence:g}% confidence, "
-              f"{rule.floor}..{rule.cap} runs/cell")
-    _print_fleet(orchestrator.store.read_fleet_stats())
+        print(f"adaptive: target CI ±{stopping.ci_width:g} pp at "
+              f"{100 * stopping.confidence:g}% confidence, "
+              f"{stopping.floor}..{stopping.cap} runs/cell")
+    _print_fleet(store.read_fleet_stats())
     print(f"{done_cells}/{len(statuses)} cells complete")
     return 0 if done_cells == len(statuses) else 1
 
@@ -272,34 +423,20 @@ def _cmd_tables(args) -> int:
     if _refuse_runs_under_adaptive(args, store.stopping_rule() is not None):
         return 2
     selected = args.tables or [1, 2, 3]
-    for number in selected:
-        if number == 1:
-            table = table1_applications(config)
-        elif number == 2:
-            table = table2_catastrophic_failures(config, apps=args.apps,
-                                                 store=store)
-        elif number == 3:
-            table = table3_low_reliability_instructions(config, apps=args.apps)
-        elif number == 4:
-            # Beyond the paper: the same operating point under every fault
-            # model (live simulation; a store holds exactly one model).
-            table = table4_fault_models(config, apps=args.apps,
-                                        models=args.models,
-                                        errors=args.model_errors)
-        else:
-            print(f"unknown table {number}", file=sys.stderr)
-            return 2
+    unknown = [number for number in selected if number not in (1, 2, 3, 4)]
+    if unknown:
+        return _usage_error(args, f"unknown table {unknown[0]}")
+    rendered = api_tables(store, selected, apps=args.apps,
+                          models=args.models, model_errors=args.model_errors,
+                          config=config)
+    if args.json:
+        _emit_json({"tables": [{"number": number, "text": table.to_text()}
+                               for number, table in zip(selected, rendered)]})
+        return 0
+    for table in rendered:
         print(table.to_text())
         print()
     return 0
-
-
-def _print_cli_error(error: Exception) -> int:
-    # The guidance message ("run `python -m repro sweep` first", "refusing
-    # to resume with ...", config validation) is the whole point; a raw
-    # traceback would bury it.
-    print(f"error: {error}", file=sys.stderr)
-    return 1
 
 
 def _cmd_figures(args) -> int:
@@ -307,16 +444,64 @@ def _cmd_figures(args) -> int:
     if _refuse_runs_under_adaptive(args, store.stopping_rule() is not None):
         return 2
     selected = args.figures or sorted(ALL_FIGURES)
-    for name in selected:
-        builder = ALL_FIGURES.get(name)
-        if builder is None:
-            print(f"unknown figure {name!r}; expected one of "
-                  f"{sorted(ALL_FIGURES)}", file=sys.stderr)
-            return 2
-        figure = builder(config, errors_axis=args.errors, store=store)
+    unknown = [name for name in selected if name not in ALL_FIGURES]
+    if unknown:
+        return _usage_error(args, f"unknown figure {unknown[0]!r}; expected "
+                                  f"one of {sorted(ALL_FIGURES)}")
+    rendered = api_figures(store, selected, errors=args.errors, config=config)
+    if args.json:
+        _emit_json({"figures": [{"name": name, "text": figure.to_table()}
+                                for name, figure in zip(selected, rendered)]})
+        return 0
+    for figure in rendered:
         print(figure.to_table())
         print()
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import os
+
+    from .service.daemon import CampaignService
+
+    listen = _resolve_listen(args, "127.0.0.1", 8340)
+    if listen is None:
+        return 2
+    secret = args.secret
+    if secret is None:
+        secret = os.environ.get("REPRO_WORKER_SECRET") or None
+    execution = {"engine": args.engine, "chunk_size": args.chunk_size}
+    if args.parallel > 1:
+        execution["parallel"] = args.parallel
+    service = CampaignService(args.store, worker_ttl=args.worker_ttl,
+                              secret=secret, execution=execution)
+    try:
+        asyncio.run(service.serve(*listen))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    config = _experiment_config(args)
+    stopping = _stopping_rule(args, None)
+    if _refuse_runs_under_adaptive(args, stopping is not None):
+        return 2
+    spec = _campaign_spec(args, config, stopping)
+    job = api_submit(spec, url=args.url, wait=not args.no_wait,
+                     timeout=args.timeout)
+    if args.json:
+        _emit_json(job)
+    elif job["state"] in ("queued", "running"):
+        print(f"submitted: job {job['job']} is {job['state']} at {args.url} "
+              f"(poll with `python -m repro submit --url {args.url} ...` or "
+              f"the /v1/campaigns/{job['job']} endpoint)")
+    else:
+        _print_job_summary(job)
+        if job["state"] == "failed" and job.get("error"):
+            print(f"error: {job['error']}", file=sys.stderr)
+    return 0 if job["state"] in ("complete", "queued", "running") else 1
 
 
 def _cmd_worker(args) -> int:
@@ -324,17 +509,30 @@ def _cmd_worker(args) -> int:
 
     from .exec.worker import serve
 
+    listen = _resolve_listen(args, "127.0.0.1", 0)
+    if listen is None:
+        return 2
+    if args.advertise is not None:
+        from .exec import parse_worker_address
+
+        try:
+            parse_worker_address(args.advertise)
+        except ValueError as error:
+            return _usage_error(args, str(error))
     secret = args.secret
     if secret is None:
         secret = os.environ.get("REPRO_WORKER_SECRET") or None
-    serve(args.host, args.port, max_sessions=args.max_sessions, secret=secret)
+    serve(listen[0], listen[1], max_sessions=args.max_sessions,
+          secret=secret, register_url=args.register,
+          advertise=args.advertise)
     return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="paper-sweep orchestrator and experiment artefact CLI",
+        description="paper-sweep orchestrator, campaign service and "
+                    "experiment artefact CLI",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -342,6 +540,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run or resume the paper grid into a shard store")
     _add_store_argument(sweep)
     _add_grid_arguments(sweep)
+    _add_json_argument(sweep)
     sweep.add_argument("--executor", default="auto",
                        choices=["auto", "serial", "batch", "pool", "socket"],
                        help="executor backend (default auto)")
@@ -350,11 +549,13 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", nargs="*", default=None, metavar="HOST:PORT",
                        help="socket-executor worker addresses (bracket IPv6 "
                             "hosts: '[::1]:7006')")
-    sweep.add_argument("--worker-secret", default=None, metavar="SECRET",
+    sweep.add_argument("--secret", default=None, metavar="SECRET",
                        help="shared secret authenticating the socket "
                             "handshake; must match the workers' --secret "
                             "(default: unauthenticated, loopback fleets "
                             "only)")
+    sweep.add_argument("--worker-secret", default=None, metavar="SECRET",
+                       help="deprecated spelling; use --secret")
     sweep.add_argument("--chunk-timeout", type=float, default=None,
                        metavar="SECONDS",
                        help="hard wall-clock deadline per remote chunk "
@@ -375,45 +576,68 @@ def build_parser() -> argparse.ArgumentParser:
                             "under --engine batch this also caps how many "
                             "runs share one lockstep batch, so raise it "
                             "for maximum batch throughput)")
-    adaptive = sweep.add_argument_group(
-        "adaptive sampling",
-        "Spend runs per cell until the failure-rate and acceptable-rate "
-        "Wilson intervals converge instead of using a fixed --runs; the "
-        "store's meta.json pins the rule, so resuming an adaptive store "
-        "needs no flags at all.  See docs/ARCHITECTURE.md.")
-    adaptive.add_argument("--adaptive", action="store_true",
-                          help="plan each cell adaptively with the "
-                               "sequential stopping rule")
-    adaptive.add_argument("--ci-width", type=float, default=None,
-                          metavar="PP",
-                          help="target CI half-width in percentage points "
-                               "(default: store meta or 2.5; implies "
-                               "--adaptive)")
-    adaptive.add_argument("--min-runs", type=int, default=None, metavar="N",
-                          help="run floor per cell before the rule may stop "
-                               "(default: store meta or 8; implies "
-                               "--adaptive)")
-    adaptive.add_argument("--max-runs", type=int, default=None, metavar="N",
-                          help="run cap per cell, converged or not "
-                               "(default: store meta or 64; implies "
-                               "--adaptive)")
-    adaptive.add_argument("--confidence", type=float, default=None,
-                          metavar="C",
-                          help="two-sided confidence level of the monitored "
-                               "intervals (default: store meta or 0.95; "
-                               "implies --adaptive)")
+    _add_adaptive_arguments(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
+
+    serve = commands.add_parser(
+        "serve", help="run the campaign-as-a-service daemon (HTTP/JSON "
+                      "API + content-addressed result cache)")
+    serve.add_argument("--store", required=True, metavar="DIR",
+                       help="cache root; each distinct campaign content "
+                            "gets a shard store under DIR/stores/")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="address to bind (default 127.0.0.1:8340)")
+    serve.add_argument("--secret", default=None, metavar="SECRET",
+                       help="shared secret for the worker-fleet handshake "
+                            "(default: $REPRO_WORKER_SECRET, else "
+                            "unauthenticated)")
+    serve.add_argument("--worker-ttl", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="drop workers whose last heartbeat is older "
+                            "than this (default 30)")
+    serve.add_argument("--engine", default="fork",
+                       choices=["fork", "batch", "decoded", "reference"],
+                       help="simulation engine for daemon-run campaigns "
+                            "(default fork)")
+    serve.add_argument("--parallel", type=int, default=1,
+                       help="local process-pool width when no workers are "
+                            "registered (default 1)")
+    serve.add_argument("--chunk-size", type=int, default=16,
+                       help="runs persisted per store append (default 16)")
+    _add_json_argument(serve)
+    serve.set_defaults(handler=_cmd_serve, host=None, port=None)
+
+    submit = commands.add_parser(
+        "submit", help="submit a campaign spec to a running "
+                       "`python -m repro serve` daemon")
+    submit.add_argument("--url", required=True, metavar="URL",
+                        help="campaign-service base URL, e.g. "
+                             "http://127.0.0.1:8340")
+    _add_grid_arguments(submit)
+    _add_adaptive_arguments(submit)
+    _add_json_argument(submit)
+    submit.add_argument("--no-wait", action="store_true",
+                        help="return after queueing instead of waiting for "
+                             "the campaign to finish")
+    submit.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="give up waiting after this long (default: "
+                             "wait forever)")
+    submit.set_defaults(handler=_cmd_submit)
 
     status = commands.add_parser(
         "status", help="show per-cell progress of a store's grid")
     _add_store_argument(status)
     _add_grid_arguments(status)
+    _add_adaptive_arguments(status)
+    _add_json_argument(status)
     status.set_defaults(handler=_cmd_status)
 
     tables = commands.add_parser(
         "tables", help="regenerate the paper's tables from a store")
     _add_store_argument(tables)
     _add_grid_arguments(tables)
+    _add_json_argument(tables)
     tables.add_argument("--tables", nargs="*", type=int, default=None,
                         metavar="N",
                         help="table numbers (default: 1 2 3; table 4 is the "
@@ -429,6 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
         "figures", help="regenerate the paper's figures from a store")
     _add_store_argument(figures)
     _add_grid_arguments(figures)
+    _add_json_argument(figures)
     figures.add_argument("--figures", nargs="*", default=None, metavar="NAME",
                          help="figure names, e.g. figure1 (default: all)")
     figures.set_defaults(handler=_cmd_figures)
@@ -436,13 +661,28 @@ def build_parser() -> argparse.ArgumentParser:
     worker = commands.add_parser(
         "worker", help="run a TCP campaign worker "
                        "(alias of python -m repro.exec.worker)")
-    worker.add_argument("--host", default="127.0.0.1")
-    worker.add_argument("--port", type=int, default=0)
-    worker.add_argument("--max-sessions", type=int, default=None)
+    worker.add_argument("--listen", default=None, metavar="HOST:PORT",
+                        help="address to bind (default 127.0.0.1:0; the "
+                             "banner prints the OS-picked port)")
+    worker.add_argument("--host", default=None,
+                        help="deprecated spelling; use --listen HOST:PORT")
+    worker.add_argument("--port", type=int, default=None,
+                        help="deprecated spelling; use --listen HOST:PORT")
+    worker.add_argument("--max-sessions", type=int, default=None,
+                        help="exit after serving this many sessions")
     worker.add_argument("--secret", default=None,
                         help="shared secret: refuse executors that cannot "
                              "prove knowledge of it (default: "
                              "$REPRO_WORKER_SECRET, else unauthenticated)")
+    worker.add_argument("--register", default=None, metavar="URL",
+                        help="campaign-service URL to heartbeat this "
+                             "worker's address to, so `python -m repro "
+                             "serve` discovers it automatically")
+    worker.add_argument("--advertise", default=None, metavar="HOST:PORT",
+                        help="address to register at the campaign service "
+                             "(default: the bound address; set this when "
+                             "binding 0.0.0.0)")
+    _add_json_argument(worker)
     worker.set_defaults(handler=_cmd_worker)
 
     return parser
@@ -452,11 +692,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.handler(args)
-    except (MissingCellError, ValueError) as error:
+    except (MissingCellError, ValueError, ConnectionError,
+            ServiceError, TimeoutError) as error:
         # MissingCellError: a tables/figures cell the sweep has not produced
         # yet.  ValueError: user-input problems — meta mismatch on resume
         # (StoreMismatchError), campaign config validation, bad addresses.
-        return _print_cli_error(error)
+        # ConnectionError/ServiceError/TimeoutError: the campaign daemon is
+        # unreachable, refused the request, or took too long.
+        return _print_cli_error(error, as_json=getattr(args, "json", False))
 
 
 if __name__ == "__main__":

@@ -24,10 +24,12 @@ models can never silently mix records.  Stores written before the model
 subsystem existed carry no ``model`` key in their metadata and default to
 ``control-bit`` — the migration-safe reading of what they contain.
 
-Crash safety: appends happen a whole line at a time, and both readers and
-appenders first truncate a partially-written trailing line (the only
-corruption a mid-write kill can cause), so a resumed sweep recomputes
-exactly the runs whose records never made it to disk.
+Crash safety: appends happen a whole line at a time; appenders first
+truncate a partially-written trailing line (the only corruption a
+mid-write kill can cause) while readers merely skip it in memory — read
+paths never mutate the store, so concurrent cache readers (the campaign
+daemon) can race an appending sweep safely.  A resumed sweep therefore
+recomputes exactly the runs whose records never made it to disk.
 """
 
 from __future__ import annotations
@@ -208,13 +210,22 @@ class ShardStore:
     # ------------------------------------------------------------------
     def load_records(self, app_name: str, mode: ProtectionMode,
                      errors: int) -> List[RunRecord]:
-        """All persisted records of one cell, sorted by run index."""
+        """All persisted records of one cell, sorted by run index.
+
+        Read-only: a partially-written trailing line (mid-write kill, or
+        an append racing this read in another process — the campaign
+        daemon serves cache reads while a sweep appends) is *skipped in
+        memory*, never truncated on disk.  Only the append path repairs
+        the file, under the writer's ownership of the shard.
+        """
         path = self.shard_path(app_name, mode, errors)
         if not path.exists():
             return []
-        self._repair(path)
+        data = path.read_bytes()
+        if data and not data.endswith(b"\n"):
+            data = data[:data.rfind(b"\n") + 1]
         records = [RunRecord.from_json(json.loads(line))
-                   for line in path.read_text().splitlines() if line]
+                   for line in data.decode("utf-8").splitlines() if line]
         records.sort(key=lambda record: record.run_index)
         return records
 

@@ -30,6 +30,7 @@ from .tcp import (
     ProtocolError,
     SocketExecutor,
     WorkerTaskError,
+    parse_listen_address,
     parse_worker_address,
 )
 
@@ -102,6 +103,7 @@ __all__ = [
     "create_executor",
     "make_record",
     "make_records",
+    "parse_listen_address",
     "parse_worker_address",
     "resolve_executor_name",
 ]

@@ -75,7 +75,7 @@ import threading
 import time
 import warnings
 import zlib
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.outcomes import RunRecord
 from ..sim import ProtectionMode
@@ -338,6 +338,16 @@ def parse_worker_address(address: str) -> Tuple[str, int]:
     return host or "127.0.0.1", port
 
 
+def parse_listen_address(address: str) -> Tuple[str, int]:
+    """Parse a ``--listen`` bind address: like :func:`parse_worker_address`
+    but port 0 is allowed (it asks the OS for a free port; the banner is
+    how callers learn the choice)."""
+    host, separator, port_text = address.rpartition(":")
+    if separator and port_text == "0":
+        return parse_worker_address(f"{host}:1")[0], 0
+    return parse_worker_address(address)
+
+
 class _WorkerConnection:
     """One authenticated protocol-v2 session with a remote worker."""
 
@@ -588,6 +598,14 @@ class SocketExecutor(Executor):
         self._local_only = False
         self._fallback_runs = 0
         self._fallback_warned = False
+        #: Optional zero-argument callable returning the *current* worker
+        #: addresses (the campaign daemon passes its registry's ``live``).
+        #: Re-queried before every :meth:`run` call, so workers that dial
+        #: in mid-campaign join the fleet at the next chunk boundary.  A
+        #: plain attribute, not a ``CampaignConfig`` field: the config
+        #: travels the wire (``dataclasses.asdict``) and a live callable
+        #: must never be part of it.
+        self.fleet_source: Optional[Callable[[], Sequence[str]]] = None
 
     # ------------------------------------------------------------------
     # Connection management.
@@ -668,6 +686,30 @@ class SocketExecutor(Executor):
                 )
             self._degrade(f"no workers reachable at startup ({detail})")
 
+    def _refresh_fleet(self) -> None:
+        """Fold newly-registered workers into the fleet.
+
+        Existing slots (and their stats/backoff state) are kept — a
+        worker that fell out of the registry merely stops getting new
+        chunks once its reconnect budget runs out; it is never yanked
+        mid-chunk.  Malformed or duplicate addresses are skipped.
+        """
+        if self.fleet_source is None or self._local_only:
+            return
+        try:
+            addresses = list(self.fleet_source())
+        except Exception:  # noqa: BLE001 — a flaky registry must not
+            return         # kill a healthy campaign
+        known = {slot.address for slot in self._slots}
+        for address in addresses:
+            if address in known:
+                continue
+            try:
+                parse_worker_address(address)
+            except ValueError:
+                continue
+            self._slots.append(_WorkerSlot(address))
+
     def _degrade(self, reason: str) -> None:
         """Switch this executor to local in-process execution, loudly."""
         self._local_only = True
@@ -708,6 +750,7 @@ class SocketExecutor(Executor):
     def run(self, tasks: Sequence[RunTask]) -> List[RunRecord]:
         if not self._slots and not self._local_only:
             self.start()
+        self._refresh_fleet()
         tasks = list(tasks)
         if not tasks:
             return []

@@ -83,6 +83,11 @@ _COMPUTE_LOCK = threading.Lock()
 #: stalls) from pinning session threads forever.
 HANDSHAKE_TIMEOUT = 60.0
 
+#: Seconds between heartbeats to a campaign daemon under ``--register``
+#: — comfortably inside the daemon's default 30s worker TTL, so one lost
+#: heartbeat never drops a healthy worker from the fleet.
+REGISTER_INTERVAL = 5.0
+
 
 def _cached_app(name: str, params: Dict) -> ErrorTolerantApp:
     key = json.dumps([name, sorted(params.items())], sort_keys=True)
@@ -235,14 +240,50 @@ def _handle_session(connection: socket.socket,
             return
 
 
+def _registration_loop(url: str, address: str,
+                       stop: threading.Event) -> None:
+    """Heartbeat ``address`` to a campaign daemon until ``stop`` is set.
+
+    Registration is fire-and-forget: a daemon that is down or not yet up
+    simply misses heartbeats (and this worker re-appears in its registry
+    as soon as it answers again), so worker and daemon can start in any
+    order.  A final best-effort deregister lets an orderly shutdown leave
+    the fleet immediately instead of waiting out the TTL.
+    """
+    from ..service.client import ServiceClient
+
+    try:
+        client = ServiceClient(url, timeout=10.0)
+    except ValueError:
+        return  # malformed URL was already reported by main()
+    while not stop.is_set():
+        try:
+            client.register_worker(address)
+        except Exception:  # noqa: BLE001 — daemon down; keep trying
+            pass
+        stop.wait(REGISTER_INTERVAL)
+    try:
+        client.register_worker(address, deregister=True)
+    except Exception:  # noqa: BLE001 — best effort only
+        pass
+
+
 def serve(host: str = "127.0.0.1", port: int = 0,
           max_sessions: Optional[int] = None,
-          banner_stream=None, secret: Optional[str] = None) -> None:
+          banner_stream=None, secret: Optional[str] = None,
+          register_url: Optional[str] = None,
+          advertise: Optional[str] = None) -> None:
     """Accept and serve executor sessions until ``max_sessions`` is reached.
 
     Each session runs on its own daemon thread, so a stalled or half-open
     session never blocks the accept loop — an executor reconnecting after
     a network fault gets a fresh session immediately.
+
+    With ``register_url`` the worker dials into a campaign daemon: it
+    POSTs its address (``advertise`` when given — e.g. when bound to
+    ``0.0.0.0`` — else the bound address) to the daemon's ``/v1/workers``
+    endpoint every few seconds, so ``python -m repro serve`` discovers
+    the fleet without anyone passing ``--workers`` lists around.
     """
     stream = banner_stream if banner_stream is not None else sys.stdout
 
@@ -253,6 +294,8 @@ def serve(host: str = "127.0.0.1", port: int = 0,
             except (ProtocolError, ConnectionError, OSError, socket.timeout):
                 pass  # executor vanished or sent garbage; drop the session
 
+    stop_registration = threading.Event()
+    registrar: Optional[threading.Thread] = None
     with socket.create_server((host, port)) as server:
         bound_host, bound_port = server.getsockname()[:2]
         if ":" in bound_host:
@@ -262,28 +305,46 @@ def serve(host: str = "127.0.0.1", port: int = 0,
             bound_host = f"[{bound_host}]"
         print(f"repro-exec-worker listening on {bound_host}:{bound_port}",
               file=stream, flush=True)
-        served = 0
-        threads = []
-        while max_sessions is None or served < max_sessions:
-            connection, _address = server.accept()
-            thread = threading.Thread(target=session, args=(connection,),
-                                      daemon=True)
-            thread.start()
-            threads.append(thread)
-            served += 1
-        for thread in threads:
-            thread.join(timeout=HANDSHAKE_TIMEOUT)
+        if register_url:
+            address = advertise or f"{bound_host}:{bound_port}"
+            registrar = threading.Thread(
+                target=_registration_loop,
+                args=(register_url, address, stop_registration),
+                daemon=True)
+            registrar.start()
+        try:
+            served = 0
+            threads = []
+            while max_sessions is None or served < max_sessions:
+                connection, _address = server.accept()
+                thread = threading.Thread(target=session, args=(connection,),
+                                          daemon=True)
+                thread.start()
+                threads.append(thread)
+                served += 1
+            for thread in threads:
+                thread.join(timeout=HANDSHAKE_TIMEOUT)
+        finally:
+            stop_registration.set()
+            if registrar is not None:
+                registrar.join(timeout=REGISTER_INTERVAL * 3)
 
 
 def main(argv: Optional[list] = None) -> int:
+    from .tcp import parse_listen_address, parse_worker_address
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.exec.worker",
         description="TCP worker serving campaign run tasks to SocketExecutor",
     )
-    parser.add_argument("--host", default="127.0.0.1",
-                        help="interface to bind (default 127.0.0.1)")
-    parser.add_argument("--port", type=int, default=0,
-                        help="port to bind; 0 lets the OS pick (default)")
+    parser.add_argument("--listen", default=None, metavar="HOST:PORT",
+                        help="address to bind (default 127.0.0.1:0; port 0 "
+                             "lets the OS pick — the printed banner is how "
+                             "callers learn it)")
+    parser.add_argument("--host", default=None,
+                        help="deprecated spelling; use --listen HOST:PORT")
+    parser.add_argument("--port", type=int, default=None,
+                        help="deprecated spelling; use --listen HOST:PORT")
     parser.add_argument("--max-sessions", type=int, default=None,
                         help="exit after serving this many sessions "
                              "(default: serve forever)")
@@ -292,11 +353,39 @@ def main(argv: Optional[list] = None) -> int:
                              "prove knowledge of it via the handshake HMAC "
                              "(default: $REPRO_WORKER_SECRET, else no "
                              "authentication)")
+    parser.add_argument("--register", default=None, metavar="URL",
+                        help="campaign-service URL (e.g. "
+                             "http://127.0.0.1:8340) to heartbeat this "
+                             "worker's address to, so `python -m repro "
+                             "serve` discovers it automatically")
+    parser.add_argument("--advertise", default=None, metavar="HOST:PORT",
+                        help="address to register at the campaign service "
+                             "(default: the bound address; set this when "
+                             "binding 0.0.0.0)")
     args = parser.parse_args(argv)
+    host, port = "127.0.0.1", 0
+    if args.host is not None or args.port is not None:
+        print("warning: --host/--port are deprecated; use "
+              "--listen HOST:PORT", file=sys.stderr)
+        host = args.host if args.host is not None else host
+        port = args.port if args.port is not None else port
+    if args.listen is not None:
+        try:
+            host, port = parse_listen_address(args.listen)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if args.advertise is not None:
+        try:
+            parse_worker_address(args.advertise)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     secret = args.secret
     if secret is None:
         secret = os.environ.get("REPRO_WORKER_SECRET") or None
-    serve(args.host, args.port, max_sessions=args.max_sessions, secret=secret)
+    serve(host, port, max_sessions=args.max_sessions, secret=secret,
+          register_url=args.register, advertise=args.advertise)
     return 0
 
 

@@ -1,4 +1,13 @@
-"""Experiment harness: one entry point per paper table and figure."""
+"""Experiment harness: one entry point per paper table and figure.
+
+Campaigns are submitted through :mod:`repro.api` (a
+:class:`~repro.service.spec.CampaignSpec` plus execution options);
+directly constructing the underlying ``SweepOrchestrator`` is a
+deprecated internal path — package-level access emits a
+``DeprecationWarning`` and new code should call
+:func:`repro.api.submit` (or, for the rare case that really needs the
+orchestrator, :func:`repro.api.build_orchestrator`).
+"""
 
 from .config import ExperimentConfig, default, full, quick
 from .figures import (
@@ -13,7 +22,6 @@ from .figures import (
 from .sweep import (
     GRID_MODES,
     SweepCell,
-    SweepOrchestrator,
     SweepReport,
     SweepStatus,
     grid_errors_axis,
@@ -52,3 +60,28 @@ __all__ = [
     "table3_low_reliability_instructions",
     "table4_fault_models",
 ]
+
+
+def __getattr__(name: str):
+    """Deprecation shim for the pre-service direct-construction path.
+
+    ``repro.experiments.SweepOrchestrator`` keeps working (PEP 562) but
+    warns: the supported surfaces are :func:`repro.api.submit` for
+    running campaigns and :func:`repro.api.build_orchestrator` for the
+    rare embedding that needs the orchestrator object.  Internal code
+    imports :mod:`repro.experiments.sweep` directly.
+    """
+    if name == "SweepOrchestrator":
+        import warnings
+
+        from .sweep import SweepOrchestrator
+
+        warnings.warn(
+            "constructing SweepOrchestrator via repro.experiments is "
+            "deprecated; submit a repro.api.CampaignSpec through "
+            "repro.api.submit() (or repro.api.build_orchestrator() if "
+            "you need the orchestrator itself)",
+            DeprecationWarning, stacklevel=2,
+        )
+        return SweepOrchestrator
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

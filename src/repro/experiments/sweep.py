@@ -159,7 +159,8 @@ class SweepOrchestrator:
                  include_table2: bool = True,
                  chunk_size: int = 16,
                  stopping: Optional[StoppingRule] = None,
-                 progress: Optional[Callable[[str], None]] = None) -> None:
+                 progress: Optional[Callable[[str], None]] = None,
+                 on_executor: Optional[Callable] = None) -> None:
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.store = store
@@ -181,6 +182,13 @@ class SweepOrchestrator:
         self.include_table2 = include_table2
         self.chunk_size = chunk_size
         self._progress = progress
+        #: Called with each executor backend right after construction,
+        #: before it starts.  The campaign service uses this to count
+        #: executor start-ups (a fully cached campaign constructs none)
+        #: and to hand the socket executor its dynamic ``fleet_source``
+        #: — per-invocation wiring that must not live in
+        #: ``CampaignConfig``, whose fields travel the wire.
+        self.on_executor = on_executor
 
     def _pin_meta(self) -> None:
         """Record the campaign parameters on first *write* to the store.
@@ -199,19 +207,21 @@ class SweepOrchestrator:
         stays seed-determined.  The two schemas never resume each other:
         ``ensure_meta`` raises ``StoreMismatchError`` on the mismatch.
         """
-        meta = {
-            "suite": self.config.suite_name,
-            "base_seed": self.campaign_config.base_seed,
-            "workloads": self.campaign_config.workloads,
-            "model": self.campaign_config.model,
-        }
-        if self.stopping is not None:
-            meta["schema"] = "sweep-store-v2-adaptive"
-            meta.update(self.stopping.as_meta())
-        else:
-            meta["schema"] = "sweep-store-v1"
-            meta["runs_per_cell"] = self.campaign_config.runs
-        self.store.ensure_meta(meta)
+        from ..service.spec import CampaignSpec
+
+        # One codec for the pin: the spec's store_meta() is the same dict
+        # the service hashes into its store_key, so a CLI sweep and a
+        # daemon-submitted campaign with equal content parameters resume
+        # each other's stores byte-for-byte.
+        spec = CampaignSpec(
+            suite=self.config.suite_name,
+            runs_per_cell=self.campaign_config.runs,
+            base_seed=self.campaign_config.base_seed,
+            workloads=self.campaign_config.workloads,
+            model=self.campaign_config.model,
+            stopping=self.stopping,
+        )
+        self.store.ensure_meta(spec.store_meta())
 
     def _report(self, message: str) -> None:
         if self._progress is not None:
@@ -331,7 +341,13 @@ class SweepOrchestrator:
             # every injection plan needs; deadline derivation in the
             # socket backend reads the same cached golden budgets.
             runner.warm_goldens()
-            with runner.make_executor() as executor:
+            executor = runner.make_executor()
+            if self.on_executor is not None:
+                # Post-construction, pre-start: the hook may attach
+                # per-invocation wiring (e.g. a dynamic fleet source)
+                # that the executor reads when it starts.
+                self.on_executor(executor)
+            with executor:
                 for cell, missing in pending:
                     if self.stopping is not None:
                         self._run_adaptive_cell(runner, executor, cell,

@@ -1,0 +1,34 @@
+"""Campaign-as-a-service: asyncio orchestration daemon + result cache.
+
+The service layer promotes the sweep orchestrator from a CLI loop into a
+long-running daemon (``python -m repro serve``) that accepts campaign
+specs from many concurrent clients over an HTTP/JSON API, schedules
+cells across the socket-worker fleet (workers dial in and heartbeat via
+:mod:`repro.exec.worker` ``--register``), and serves every cell already
+present in its :class:`~repro.core.store.ShardStore` straight from disk
+as a content-addressed cache — new traffic only pays for cells nobody
+has run yet.
+
+Modules:
+
+* :mod:`repro.service.spec`   — :class:`CampaignSpec`, the one canonical
+  description of a campaign (HTTP request body, CLI resolver output and
+  ``meta.json`` pinning record are all the same codec);
+* :mod:`repro.service.http`   — minimal stdlib asyncio HTTP/1.1 layer;
+* :mod:`repro.service.daemon` — :class:`CampaignService`, the daemon;
+* :mod:`repro.service.client` — :class:`ServiceClient`, the blocking
+  HTTP client the CLI ``submit`` command and the worker registration
+  loop use.
+
+Everything here is stdlib-only: no web framework, no new dependencies.
+"""
+
+from .client import ServiceClient
+from .daemon import CampaignService
+from .spec import CampaignSpec
+
+__all__ = [
+    "CampaignService",
+    "CampaignSpec",
+    "ServiceClient",
+]

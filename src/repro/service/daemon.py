@@ -1,0 +1,482 @@
+"""`CampaignService`: the long-running asyncio campaign daemon.
+
+``python -m repro serve`` runs one of these.  The daemon accepts
+:class:`~repro.service.spec.CampaignSpec` submissions from many
+concurrent HTTP clients, schedules their cells across the registered
+socket-worker fleet, and serves every record already present under its
+store root straight from disk — the shard store is a content-addressed
+cache, so resubmitting a spec (or submitting one that overlaps a
+previous campaign's cells) costs zero executor invocations for the
+cells that already exist.
+
+Scheduling model
+----------------
+Jobs are identified by their spec's ``cache_key`` — a byte-identical
+resubmission coalesces onto the existing job instead of queueing again —
+and filed into a shard store chosen by the spec's ``store_key`` (the
+hash of its record-determining parameters), so campaigns that can share
+records do.  One scheduler task drains the job queue **sequentially**:
+with a single execution lane, two overlapping specs can never compute
+the same cell twice — the second job finds the first's records in the
+store and only schedules the difference.  The fan-out happens *inside* a
+job, across the worker fleet.
+
+Workers dial in: a ``python -m repro worker --register <url>`` process
+re-POSTs its address to ``/v1/workers`` every few seconds, and the
+daemon treats addresses heard from within ``worker_ttl`` seconds as the
+live fleet.  Each job snapshots the live fleet at start and leases
+chunks to whichever worker is idle (the socket executor's shared chunk
+queue is the work-stealing mechanism); workers that register mid-job
+join at the next chunk boundary via the executor's ``fleet_source``
+hook, and workers that die mid-chunk have their leases requeued by the
+PR 7 liveness layer.
+
+HTTP API (all JSON; see ``docs/ARCHITECTURE.md`` for the full table)::
+
+    POST /v1/campaigns                submit a CampaignSpec
+    GET  /v1/campaigns                list jobs
+    GET  /v1/campaigns/<key>          job status (+ per-cell ?cells=1)
+    GET  /v1/campaigns/<key>/results  records of one cell (cache read)
+    GET  /v1/campaigns/<key>/tables   rendered tables
+    GET  /v1/campaigns/<key>/figures  rendered figures
+    POST /v1/workers                  register/heartbeat a worker
+    GET  /v1/workers                  live fleet
+    GET  /v1/health                   liveness probe
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+import traceback
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core import MissingCellError, ShardStore
+from ..exec import SocketExecutor, parse_worker_address
+from .http import HttpError, Request, Response, read_request, split_path
+from .spec import CampaignSpec
+
+#: Seconds a worker stays in the live fleet after its last heartbeat.
+DEFAULT_WORKER_TTL = 30.0
+
+#: Progress lines retained per job (a ring buffer; status reporting only).
+PROGRESS_TAIL = 50
+
+
+class WorkerRegistry:
+    """Addresses of workers that dialled in, aged by their heartbeats.
+
+    Thread-safe: handlers register from the event loop while running
+    jobs read the live fleet from the scheduler's executor thread.
+    """
+
+    def __init__(self, ttl: float = DEFAULT_WORKER_TTL) -> None:
+        self.ttl = ttl
+        self._lock = threading.Lock()
+        self._last_seen: Dict[str, float] = {}
+
+    def register(self, address: str) -> None:
+        """Record one worker heartbeat (registration == first heartbeat)."""
+        parse_worker_address(address)  # malformed addresses fail fast
+        with self._lock:
+            self._last_seen[address] = time.monotonic()
+
+    def forget(self, address: str) -> None:
+        """Drop a worker immediately (orderly shutdown)."""
+        with self._lock:
+            self._last_seen.pop(address, None)
+
+    def live(self) -> List[str]:
+        """Addresses heard from within the TTL, expired ones pruned."""
+        horizon = time.monotonic() - self.ttl
+        with self._lock:
+            self._last_seen = {address: seen for address, seen
+                               in self._last_seen.items() if seen >= horizon}
+            return sorted(self._last_seen)
+
+    def snapshot(self) -> List[Dict]:
+        """Fleet view for the API: address + seconds since last heartbeat."""
+        now = time.monotonic()
+        with self._lock:
+            return [{"address": address, "age": round(now - seen, 3)}
+                    for address, seen in sorted(self._last_seen.items())]
+
+
+class Job:
+    """One submitted campaign: spec, lifecycle state and counters."""
+
+    def __init__(self, spec: CampaignSpec) -> None:
+        self.spec = spec
+        self.key = spec.cache_key
+        self.state = "queued"  # queued -> running -> complete | failed
+        self.error: Optional[str] = None
+        self.submitted = time.time()
+        self.finished: Optional[float] = None
+        #: ``SweepReport`` counters once the job ran.  ``runs_executed``
+        #: is the cache-semantics contract: a fully cached job completes
+        #: with 0 here and 0 ``executors_started``.
+        self.report: Dict = {}
+        #: Executor backends the job actually started — 0 for cache hits.
+        self.executors_started = 0
+        self.progress: List[str] = []
+
+    def to_json(self) -> Dict:
+        """Status payload for the HTTP API."""
+        return {
+            "job": self.key,
+            "store": self.spec.store_key,
+            "state": self.state,
+            "error": self.error,
+            "spec": self.spec.to_json(),
+            "report": self.report,
+            "executors_started": self.executors_started,
+            "progress": self.progress[-10:],
+        }
+
+
+class CampaignService:
+    """The campaign daemon: HTTP front end + sequential job scheduler.
+
+    ``root`` is the cache root; each distinct ``store_key`` gets a shard
+    store under ``root/stores/``.  ``execution`` carries default
+    execution options for every job (engine, chunk size, worker secret,
+    ...) — never record-determining parameters, which come from each
+    job's spec.
+    """
+
+    def __init__(self, root, *, worker_ttl: float = DEFAULT_WORKER_TTL,
+                 secret: Optional[str] = None,
+                 execution: Optional[Dict] = None) -> None:
+        from pathlib import Path
+
+        self.root = Path(root)
+        self.registry = WorkerRegistry(ttl=worker_ttl)
+        self.secret = secret
+        self.execution = dict(execution or {})
+        self.jobs: Dict[str, Job] = {}
+        self._queue: "asyncio.Queue[Job]" = asyncio.Queue()
+        self._stop = asyncio.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self.url: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Stores: the content-addressed cache.
+    # ------------------------------------------------------------------
+    def store_for(self, spec: CampaignSpec) -> ShardStore:
+        """The shard store all campaigns with this spec's content share."""
+        return ShardStore(self.root / "stores" / spec.store_key[:16],
+                          model=spec.model)
+
+    # ------------------------------------------------------------------
+    # Job execution (scheduler thread).
+    # ------------------------------------------------------------------
+    def _job_execution(self, fleet: Sequence[str]) -> Dict:
+        """Execution options for one job given the current live fleet."""
+        execution = dict(self.execution)
+        if fleet:
+            execution.setdefault("executor", "socket")
+            execution["workers"] = tuple(fleet)
+            if self.secret is not None:
+                execution.setdefault("worker_secret", self.secret)
+        return execution
+
+    def _on_executor(self, job: Job) -> Callable:
+        """Hook counting executor start-ups and wiring the dynamic fleet."""
+
+        def _hook(executor) -> None:
+            job.executors_started += 1
+            if isinstance(executor, SocketExecutor):
+                # Workers that register while the job runs join at the
+                # next chunk boundary.
+                executor.fleet_source = self.registry.live
+
+        return _hook
+
+    def _run_job(self, job: Job) -> None:
+        """Run one campaign to completion (blocking; scheduler thread)."""
+        from ..api import build_orchestrator
+
+        def _progress(message: str) -> None:
+            job.progress.append(message)
+            del job.progress[:-PROGRESS_TAIL]
+
+        orchestrator = build_orchestrator(
+            job.spec, self.store_for(job.spec), progress=_progress,
+            on_executor=self._on_executor(job),
+            **self._job_execution(self.registry.live()),
+        )
+        report = orchestrator.run()
+        complete = sum(1 for status in report.statuses if status.complete)
+        job.report = {
+            "cells_total": report.cells_total,
+            "cells_complete": complete,
+            "runs_executed": report.runs_executed,
+            "runs_reused": report.runs_reused,
+            "runs_discarded": report.runs_discarded,
+            "fleet": report.fleet,
+        }
+        job.state = ("complete" if complete == report.cells_total
+                     else "failed")
+        if job.state == "failed":
+            job.error = (f"{report.cells_total - complete} cell(s) "
+                         f"incomplete after the sweep")
+
+    async def _scheduler(self) -> None:
+        """Drain the job queue, one campaign at a time.
+
+        Sequential on purpose: a single execution lane means concurrent
+        clients submitting overlapping specs can never compute one cell
+        twice — later jobs find earlier jobs' records in the store.
+        Parallelism lives *inside* a job, across the worker fleet.
+        """
+        while True:
+            job = await self._queue.get()
+            job.state = "running"
+            try:
+                await asyncio.to_thread(self._run_job, job)
+            except Exception as exc:  # noqa: BLE001 — reported to clients
+                job.state = "failed"
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.progress.append(traceback.format_exc(limit=5))
+            finally:
+                job.finished = time.time()
+                self._queue.task_done()
+
+    # ------------------------------------------------------------------
+    # HTTP handlers.
+    # ------------------------------------------------------------------
+    def _job_or_404(self, key: str) -> Job:
+        job = self.jobs.get(key)
+        if job is None:
+            raise HttpError(404, f"unknown campaign job {key!r}")
+        return job
+
+    async def _submit(self, request: Request) -> Response:
+        try:
+            spec = CampaignSpec.from_json(request.json())
+        except ValueError as exc:
+            raise HttpError(400, f"invalid campaign spec: {exc}") from exc
+        job = self.jobs.get(spec.cache_key)
+        if job is None:
+            job = Job(spec)
+            self.jobs[job.key] = job
+            await self._queue.put(job)
+            return Response.json(job.to_json(), status=202)
+        # Byte-identical resubmission: coalesce onto the existing job —
+        # already-complete jobs answer straight from the cache.
+        return Response.json(job.to_json(), status=200)
+
+    async def _job_status(self, job: Job, request: Request) -> Response:
+        payload = job.to_json()
+        if request.query.get("cells"):
+            orchestrator = self._read_orchestrator(job.spec)
+            statuses = await asyncio.to_thread(orchestrator.status)
+            payload["cells"] = [
+                {
+                    "app": status.cell.app_name,
+                    "mode": status.cell.mode.value,
+                    "errors": status.cell.errors,
+                    "done": status.done,
+                    "total": status.total,
+                    "complete": status.complete,
+                }
+                for status in statuses
+            ]
+        return Response.json(payload)
+
+    def _read_orchestrator(self, spec: CampaignSpec):
+        """A read-only orchestrator over the spec's store (no executors)."""
+        from ..api import build_orchestrator
+
+        return build_orchestrator(spec, self.store_for(spec))
+
+    async def _results(self, job: Job, request: Request) -> Response:
+        """One cell's records straight from the shard store (cache read)."""
+        from ..sim import ProtectionMode
+
+        store = self.store_for(job.spec)
+        try:
+            app = request.query["app"]
+            mode = ProtectionMode(request.query["mode"])
+            errors = int(request.query["errors"])
+        except (KeyError, ValueError) as exc:
+            raise HttpError(400, f"results need ?app=&mode=&errors= "
+                                 f"query parameters: {exc}") from exc
+        records = await asyncio.to_thread(store.load_records, app, mode,
+                                          errors)
+        if not records:
+            raise HttpError(404, f"no records for ({app}, {mode.value}, "
+                                 f"{errors} errors) in this campaign's store")
+        return Response.json({
+            "app": app, "mode": mode.value, "errors": errors,
+            "records": [record.to_json() for record in records],
+        })
+
+    async def _tables(self, job: Job, request: Request) -> Response:
+        from ..api import tables
+
+        try:
+            numbers = [int(text) for text
+                       in request.query.get("tables", "2").split(",")]
+            rendered = await asyncio.to_thread(
+                tables, self.store_for(job.spec), numbers,
+                apps=job.spec.apps)
+        except MissingCellError as exc:
+            raise HttpError(409, str(exc)) from exc
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from exc
+        return Response.text("\n\n".join(table.to_text()
+                                         for table in rendered))
+
+    async def _figures(self, job: Job, request: Request) -> Response:
+        from ..api import figures
+
+        names = request.query.get("figures")
+        try:
+            rendered = await asyncio.to_thread(
+                figures, self.store_for(job.spec),
+                names.split(",") if names else None,
+                errors=job.spec.errors)
+        except MissingCellError as exc:
+            raise HttpError(409, str(exc)) from exc
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from exc
+        return Response.text("\n\n".join(figure.to_table()
+                                         for figure in rendered))
+
+    async def _route(self, request: Request) -> Response:
+        path = split_path(request.path)
+        if path[:1] != ("v1",):
+            raise HttpError(404, f"unknown path {request.path!r}")
+        tail = path[1:]
+        if tail == ("health",):
+            return Response.json({"status": "ok", "jobs": len(self.jobs),
+                                  "workers": self.registry.snapshot()})
+        if tail == ("workers",):
+            if request.method == "POST":
+                body = request.json()
+                address = str(body.get("address") or "")
+                try:
+                    if body.get("deregister"):
+                        self.registry.forget(address)
+                    else:
+                        self.registry.register(address)
+                except ValueError as exc:
+                    raise HttpError(400, str(exc)) from exc
+                return Response.json({"workers": self.registry.snapshot(),
+                                      "ttl": self.registry.ttl})
+            return Response.json({"workers": self.registry.snapshot(),
+                                  "ttl": self.registry.ttl})
+        if tail == ("campaigns",):
+            if request.method == "POST":
+                return await self._submit(request)
+            return Response.json({"jobs": [job.to_json()
+                                           for job in self.jobs.values()]})
+        if len(tail) >= 2 and tail[0] == "campaigns":
+            job = self._job_or_404(tail[1])
+            rest = tail[2:]
+            if not rest:
+                return await self._job_status(job, request)
+            if rest == ("results",):
+                return await self._results(job, request)
+            if rest == ("tables",):
+                return await self._tables(job, request)
+            if rest == ("figures",):
+                return await self._figures(job, request)
+        raise HttpError(404, f"unknown path {request.path!r}")
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        """Serve one connection (one request, ``Connection: close``)."""
+        try:
+            try:
+                request = await read_request(reader)
+                if request is None:
+                    return
+                response = await self._route(request)
+            except HttpError as exc:
+                response = Response.json({"error": str(exc)},
+                                         status=exc.status)
+            except Exception as exc:  # noqa: BLE001 — must answer something
+                response = Response.json(
+                    {"error": f"{type(exc).__name__}: {exc}"}, status=500)
+            writer.write(response.encode())
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # client vanished mid-response
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    async def serve(self, host: str = "127.0.0.1", port: int = 8340,
+                    banner_stream=None,
+                    ready: Optional[threading.Event] = None) -> None:
+        """Serve until :meth:`stop` (or task cancellation).
+
+        Prints ``repro-service listening on http://HOST:PORT`` once bound
+        — with ``port=0`` the banner (or :attr:`url`) is how callers
+        learn the chosen port, mirroring the worker banner contract.
+        """
+        import sys
+
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(self._handle, host, port)
+        bound_host, bound_port = server.sockets[0].getsockname()[:2]
+        if ":" in bound_host:
+            bound_host = f"[{bound_host}]"
+        self.url = f"http://{bound_host}:{bound_port}"
+        stream = banner_stream if banner_stream is not None else sys.stdout
+        print(f"repro-service listening on {self.url}", file=stream,
+              flush=True)
+        scheduler = asyncio.create_task(self._scheduler())
+        if ready is not None:
+            ready.set()
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            scheduler.cancel()
+
+    def stop(self) -> None:
+        """Ask a running :meth:`serve` loop to shut down (thread-safe)."""
+        if self._loop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already closed: nothing left to stop
+
+    def start_in_background(self, host: str = "127.0.0.1",
+                            port: int = 0) -> str:
+        """Run :meth:`serve` on a daemon thread; returns the base URL.
+
+        The test-suite (and embedding applications) entry point; the CLI
+        uses :meth:`serve` directly.  :meth:`shutdown` stops the thread.
+        """
+        import io
+
+        ready = threading.Event()
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(
+                self.serve(host, port, banner_stream=io.StringIO(),
+                           ready=ready)),
+            daemon=True)
+        self._thread.start()
+        if not ready.wait(timeout=30.0):
+            raise RuntimeError("campaign service failed to start in 30s")
+        return self.url
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Stop a background service started by :meth:`start_in_background`."""
+        self.stop()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None

@@ -1,0 +1,161 @@
+"""Minimal asyncio HTTP/1.1 layer for the campaign service.
+
+Just enough HTTP for a JSON API on the standard library: request-line +
+headers + ``Content-Length`` body parsing on the server side, and JSON
+(or plain-text) responses with ``Connection: close`` semantics — one
+request per connection keeps the state machine trivial and is plenty for
+a control-plane API whose requests are rare and tiny next to the
+campaigns they trigger.
+
+Nothing here is repro-specific; :mod:`repro.service.daemon` supplies the
+routing.  Hard limits (:data:`MAX_HEADER_BYTES`, :data:`MAX_BODY_BYTES`)
+bound what an unauthenticated peer can make the daemon buffer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Upper bound on the request line + headers block.
+MAX_HEADER_BYTES = 16 * 1024
+
+#: Upper bound on a request body.  Campaign specs are a few hundred
+#: bytes; anything near this limit is not a campaign spec.
+MAX_BODY_BYTES = 1 << 20
+
+#: Reason phrases for the handful of statuses the API uses.
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """Abort request handling with a specific HTTP status.
+
+    Handlers raise this for client-side problems (bad spec, unknown job);
+    the server turns it into a JSON error body with the given status.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Dict:
+        """The request body as a JSON object (400 on anything else)."""
+        if not self.body:
+            raise HttpError(400, "request body must be a JSON object")
+        try:
+            data = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}") \
+                from exc
+        if not isinstance(data, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return data
+
+
+@dataclass
+class Response:
+    """One HTTP response (JSON unless ``content_type`` says otherwise)."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+
+    @classmethod
+    def json(cls, payload, status: int = 200) -> "Response":
+        """A JSON response with the canonical deterministic encoding."""
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return cls(status=status, body=(text + "\n").encode("utf-8"))
+
+    @classmethod
+    def text(cls, text: str, status: int = 200) -> "Response":
+        """A plain-text response (rendered tables and figures)."""
+        return cls(status=status, body=text.encode("utf-8"),
+                   content_type="text/plain; charset=utf-8")
+
+    def encode(self) -> bytes:
+        """Serialise status line + headers + body."""
+        reason = _REASONS.get(self.status, "Unknown")
+        head = (f"HTTP/1.1 {self.status} {reason}\r\n"
+                f"Content-Type: {self.content_type}\r\n"
+                f"Content-Length: {len(self.body)}\r\n"
+                f"Connection: close\r\n\r\n")
+        return head.encode("ascii") + self.body
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request from the stream; ``None`` on immediate EOF.
+
+    Raises :class:`HttpError` on malformed or oversized requests — the
+    caller answers with the error status and closes the connection.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # peer connected and closed without a request
+        raise HttpError(400, "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(413, "request head too large") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "request head too large")
+    try:
+        lines = head.decode("ascii").split("\r\n")
+        method, target, _version = lines[0].split(" ", 2)
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise HttpError(400, f"malformed request line: {exc}") from exc
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    parts = urlsplit(target)
+    query = {key: value for key, value in parse_qsl(parts.query)}
+    body = b""
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError as exc:
+        raise HttpError(400, f"bad Content-Length {length_text!r}") from exc
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise HttpError(413, f"request body of {length} bytes exceeds the "
+                             f"{MAX_BODY_BYTES}-byte limit")
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "request body shorter than its "
+                                 "Content-Length") from exc
+    return Request(method=method.upper(), path=unquote(parts.path),
+                   query=query, headers=headers, body=body)
+
+
+def split_path(path: str) -> Tuple[str, ...]:
+    """``"/v1/campaigns/abc"`` -> ``("v1", "campaigns", "abc")``."""
+    return tuple(segment for segment in path.split("/") if segment)

@@ -24,7 +24,8 @@ import pytest
 from chaos_proxy import ChaosProxy
 from repro.core import CampaignConfig, ShardStore
 from repro.exec import FleetLostError, SocketExecutor
-from repro.experiments import ExperimentConfig, SweepOrchestrator
+from repro.experiments import ExperimentConfig
+from repro.experiments.sweep import SweepOrchestrator
 from repro.sim import ProtectionMode
 
 SRC_DIR = Path(__file__).resolve().parents[1] / "src"

@@ -6,12 +6,20 @@ serial and process-pool executors, and later commands must pick the
 model up from the store's metadata without re-specifying it.
 """
 
+import json
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.__main__ import build_parser, main
 from repro.core import ShardStore
 
-SMOKE_COMMANDS = ["sweep", "status", "tables", "figures", "worker"]
+SMOKE_COMMANDS = ["sweep", "serve", "submit", "status", "tables", "figures",
+                  "worker"]
 
 
 def store_bytes(root):
@@ -192,3 +200,126 @@ class TestAdaptiveSweepEndToEnd:
             main(["sweep", "--help"])
         out = capsys.readouterr().out
         assert "--adaptive" in out and "--ci-width" in out
+
+
+class TestJsonOutput:
+    """ISSUE 8 satellite: every subcommand is scriptable via --json."""
+
+    def test_sweep_json_summary_is_the_job_payload(self, tmp_path, capsys):
+        assert main(["sweep", "--store", str(tmp_path / "store"), "--json",
+                     *MINI_GRID]) == 0
+        job = json.loads(capsys.readouterr().out)
+        assert job["state"] == "complete"
+        assert job["report"]["runs_executed"] == 12
+        assert job["executors_started"] >= 1
+        assert job["spec"]["apps"] == ["adpcm"]
+
+    def test_status_json_lists_cells(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        assert main(["sweep", "--store", str(root), *MINI_GRID]) == 0
+        capsys.readouterr()
+        assert main(["status", "--store", str(root), "--json",
+                     *MINI_GRID]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cells_complete"] == payload["cells_total"] == 4
+        assert payload["adaptive"] is None
+
+    def test_tables_and_figures_json(self, tmp_path, capsys):
+        root = tmp_path / "store"
+        grid = ["--suite", "small", "--runs", "2", "--base-seed", "11",
+                "--apps", "susan", "--errors", "0", "--no-table2-points"]
+        assert main(["sweep", "--store", str(root), *grid]) == 0
+        capsys.readouterr()
+        assert main(["figures", "--store", str(root), "--json",
+                     "--figures", "figure1", *grid]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["figures"][0]["name"] == "figure1"
+        assert main(["tables", "--store", str(root), "--json",
+                     "--tables", "1", *grid]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "Table 1" in payload["tables"][0]["text"]
+
+    def test_caught_errors_become_json_objects(self, tmp_path, capsys):
+        # MissingCellError (exit 1): a table the store cannot render yet.
+        assert main(["tables", "--store", str(tmp_path / "empty"),
+                     "--tables", "2", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "MissingCellError"
+        assert "sweep" in payload["error"]
+
+    def test_usage_errors_become_json_objects(self, tmp_path, capsys):
+        # Usage error (exit 2): --runs against adaptive mode.
+        assert main(["sweep", "--store", str(tmp_path / "store"), "--json",
+                     "--adaptive", "--runs", "5", *ADAPTIVE_GRID]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "UsageError"
+        assert "--min-runs/--max-runs" in payload["error"]
+
+    def test_unreachable_daemon_is_a_json_error(self, capsys):
+        assert main(["submit", "--url", "http://127.0.0.1:9", "--json",
+                     *MINI_GRID]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "ConnectionError"
+        assert "unreachable" in payload["error"]
+
+
+class TestFlagUnification:
+    """ISSUE 8 satellite: one --secret / --listen spelling everywhere,
+    legacy forms keep working but warn."""
+
+    def test_sweep_worker_secret_warns_but_works(self, tmp_path, capsys):
+        assert main(["sweep", "--store", str(tmp_path / "store"),
+                     "--worker-secret", "hunter2", *MINI_GRID]) == 0
+        captured = capsys.readouterr()
+        assert "--worker-secret is deprecated; use --secret" in captured.err
+        assert "4/4 cells complete" in captured.out
+
+    def test_sweep_secret_is_silent(self, tmp_path, capsys):
+        assert main(["sweep", "--store", str(tmp_path / "store"),
+                     "--secret", "hunter2", *MINI_GRID]) == 0
+        assert "deprecated" not in capsys.readouterr().err
+
+    def test_worker_host_port_warn(self, capsys):
+        # A malformed --listen aborts before binding, so this exercises
+        # the deprecation path without starting a server.
+        assert main(["worker", "--host", "127.0.0.1",
+                     "--listen", "not-an-address"]) == 2
+        err = capsys.readouterr().err
+        assert "--host/--port are deprecated; use --listen" in err
+
+    def test_serve_rejects_malformed_listen(self, tmp_path, capsys):
+        assert main(["serve", "--store", str(tmp_path / "cache"),
+                     "--listen", "nope"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServeSubmitEndToEnd:
+    """The service quickstart: `serve` in a subprocess, `submit` against
+    it through the real CLI."""
+
+    def test_submit_runs_a_campaign_through_a_live_daemon(self, tmp_path,
+                                                          capsys):
+        env = dict(os.environ)
+        src = Path(__file__).resolve().parents[1] / "src"
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--store", str(tmp_path / "cache"), "--listen", "127.0.0.1:0"],
+            stdout=subprocess.PIPE, text=True, env=env)
+        try:
+            banner = daemon.stdout.readline().strip()
+            url = re.search(r"repro-service listening on (http://\S+)$",
+                            banner).group(1)
+            assert main(["submit", "--url", url, "--json", *MINI_GRID]) == 0
+            job = json.loads(capsys.readouterr().out)
+            assert job["state"] == "complete"
+            assert job["report"]["cells_complete"] == 4
+            # Resubmitting through the CLI coalesces server-side: the
+            # daemon answers from its cache, no new runs.
+            assert main(["submit", "--url", url, "--json", *MINI_GRID]) == 0
+            job = json.loads(capsys.readouterr().out)
+            assert job["report"]["runs_executed"] == 12  # same job payload
+            assert job["state"] == "complete"
+        finally:
+            daemon.terminate()
+            daemon.wait(timeout=10)

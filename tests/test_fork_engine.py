@@ -344,7 +344,8 @@ def test_batch_sweep_interrupted_mid_cell_resumes_bit_identically(tmp_path):
     uninterrupted sweep on the default fork engine — batching must be
     invisible in the persisted bytes, whatever chunk boundary it died on."""
     from repro.core.store import ShardStore
-    from repro.experiments import ExperimentConfig, SweepOrchestrator
+    from repro.experiments import ExperimentConfig
+    from repro.experiments.sweep import SweepOrchestrator
 
     config = ExperimentConfig(suite_name="small", runs_per_cell=6, base_seed=29)
     grid = {"apps": ["adpcm"], "errors_axis": [2, 6], "include_table2": False}

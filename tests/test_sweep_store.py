@@ -25,9 +25,9 @@ from repro.core import (
     StoppingRule,
 )
 from repro.core.store import StoreMismatchError
+from repro.experiments.sweep import SweepOrchestrator
 from repro.experiments import (
     ExperimentConfig,
-    SweepOrchestrator,
     figure3_mcf,
     grid_errors_axis,
     paper_grid,
