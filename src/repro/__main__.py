@@ -475,7 +475,8 @@ def _cmd_serve(args) -> int:
     if args.parallel > 1:
         execution["parallel"] = args.parallel
     service = CampaignService(args.store, worker_ttl=args.worker_ttl,
-                              secret=secret, execution=execution)
+                              secret=secret, execution=execution,
+                              lanes=args.lanes)
     try:
         asyncio.run(service.serve(*listen))
     except KeyboardInterrupt:
@@ -595,6 +596,10 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="drop workers whose last heartbeat is older "
                             "than this (default 30)")
+    serve.add_argument("--lanes", type=int, default=None, metavar="N",
+                       help="concurrent scheduler lanes: how many jobs "
+                            "may run at once (same-store jobs still "
+                            "serialize; default: one per core, max 4)")
     serve.add_argument("--engine", default="fork",
                        choices=["fork", "batch", "decoded", "reference"],
                        help="simulation engine for daemon-run campaigns "

@@ -94,8 +94,15 @@ def build_orchestrator(spec: CampaignSpec, store: StoreLike, *,
     )
 
 
-def _job_payload(spec: CampaignSpec, report, executors_started: int) -> Dict:
-    """A local run's report in the daemon's job-status payload shape."""
+def _job_payload(spec: CampaignSpec, report, executors_started: int,
+                 submitted: Optional[float] = None,
+                 finished: Optional[float] = None) -> Dict:
+    """A local run's report in the daemon's job-status payload shape.
+
+    ``lane`` is ``None`` and ``restored`` ``False`` by construction: a
+    local run has no scheduler lane and no journal to be restored from —
+    the keys exist so the payload shape stays identical to the daemon's.
+    """
     complete = sum(1 for status in report.statuses if status.complete)
     return {
         "job": spec.cache_key,
@@ -114,6 +121,10 @@ def _job_payload(spec: CampaignSpec, report, executors_started: int) -> Dict:
             "fleet": report.fleet,
         },
         "executors_started": executors_started,
+        "lane": None,
+        "restored": False,
+        "submitted": submitted,
+        "finished": finished,
         "progress": [],
     }
 
@@ -151,6 +162,8 @@ def submit(spec: CampaignSpec, store: Optional[StoreLike] = None, *,
         if wait and job["state"] not in ("complete", "failed"):
             job = client.wait(job["job"], timeout=timeout)
         return job
+    import time
+
     executors = {"count": 0}
     user_hook = execution.pop("on_executor", None)
 
@@ -159,21 +172,44 @@ def submit(spec: CampaignSpec, store: Optional[StoreLike] = None, *,
         if user_hook is not None:
             user_hook(executor)
 
+    submitted = time.time()
     orchestrator = build_orchestrator(spec, store, progress=progress,
                                       on_executor=_count_executors,
                                       chunk_size=chunk_size, **execution)
     report = orchestrator.run()
-    return _job_payload(spec, report, executors["count"])
+    return _job_payload(spec, report, executors["count"],
+                        submitted=submitted, finished=time.time())
 
 
-def status(store: StoreLike, spec: Optional[CampaignSpec] = None) -> List:
-    """Per-cell progress of a campaign against a store.
+def status(store: Optional[StoreLike] = None,
+           spec: Optional[CampaignSpec] = None, *,
+           url: Optional[str] = None, job: Optional[str] = None):
+    """Per-cell progress of a campaign — local store or remote daemon.
 
-    Without a spec, progress is measured for the full default grid under
-    the store's own pinned parameters (the ``python -m repro status``
-    behaviour).  Returns the orchestrator's
+    Exactly one of ``store`` or ``url`` must be given.  The local form
+    measures progress against the shard store: without a spec, for the
+    full default grid under the store's own pinned parameters (the
+    ``python -m repro status`` behaviour); returns the orchestrator's
     :class:`~repro.experiments.sweep.SweepStatus` list.
+
+    The remote form queries a campaign daemon: with ``job`` (a cache
+    key) or a ``spec`` to derive it from, returns that job's status
+    payload (the daemon's ``Job.to_json`` shape, including scheduler
+    ``lane`` and journal ``restored`` state); with neither, returns the
+    daemon's full job list.
     """
+    if (store is None) == (url is None):
+        raise ValueError("status() needs exactly one of store= (read a "
+                         "local shard store) or url= (query a daemon)")
+    if url is not None:
+        from .service.client import ServiceClient
+
+        client = ServiceClient(url)
+        if job is None and spec is not None:
+            job = spec.cache_key
+        if job is None:
+            return client.jobs()
+        return client.status(job)
     bound = _as_store(store, spec)
     if spec is None:
         spec = _spec_for_store(bound)

@@ -5,6 +5,7 @@ errors)`` combination under one fault model — as JSON lines sorted by
 ``run_index``::
 
     <root>/meta.json
+    <root>/.lock                                   # advisory write lock (exclusive_lock)
     <root>/<app>/<mode>-e<errors>.jsonl            # default control-bit model
     <root>/<app>/<mode>-e<errors>@<model>.jsonl    # any other fault model
 
@@ -34,6 +35,7 @@ recomputes exactly the runs whose records never made it to disk.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 from pathlib import Path
@@ -44,6 +46,11 @@ from .outcomes import CampaignResult, RunRecord, SweepResult
 from .stats import StoppingRule
 
 META_FILENAME = "meta.json"
+
+#: Advisory lock file a store's exclusive writers take (``flock``); see
+#: :meth:`ShardStore.exclusive_lock`.  Dot-named so byte-identity
+#: comparisons and shard iteration never see it.
+LOCK_FILENAME = ".lock"
 
 #: Fleet-health sidecar written next to ``meta.json`` by distributed
 #: sweeps.  Operational telemetry only — never part of the record-stream
@@ -86,6 +93,67 @@ class StoreMismatchError(ValueError):
 def _encode_line(record: RunRecord) -> str:
     return json.dumps(record.to_json(), sort_keys=True,
                       separators=(",", ":")) + "\n"
+
+
+def repair_jsonl(path: Path) -> None:
+    """Truncate a partially-written trailing line left by a mid-write kill.
+
+    The one corruption a whole-line-at-a-time JSONL appender can suffer.
+    Appenders call this before appending (writer-owned repair); readers
+    must use :func:`read_jsonl` instead, which skips the torn tail in
+    memory without mutating the file.
+    """
+    if not path.exists():
+        return
+    data = path.read_bytes()
+    if not data or data.endswith(b"\n"):
+        return
+    keep = data.rfind(b"\n") + 1
+    with path.open("r+b") as handle:
+        handle.truncate(keep)
+
+
+def read_jsonl(path: Path) -> List[Dict]:
+    """Parse a JSONL file's complete lines; read-only and torn-tail safe.
+
+    A trailing line without its newline (mid-write kill, or an append
+    racing this read from another process) is skipped in memory, never
+    truncated on disk — so concurrent readers can't race an appender.
+    Returns ``[]`` for a missing file.
+    """
+    if not path.exists():
+        return []
+    data = path.read_bytes()
+    if data and not data.endswith(b"\n"):
+        data = data[:data.rfind(b"\n") + 1]
+    return [json.loads(line)
+            for line in data.decode("utf-8").splitlines() if line]
+
+
+@contextlib.contextmanager
+def advisory_lock(path: Path) -> Iterator[None]:
+    """Hold a cross-process exclusive advisory lock on ``path``.
+
+    Blocks until the lock is free.  Backed by ``flock`` where the
+    platform has it (per open-file-description, so it also excludes two
+    holders inside one process); degrades to a no-op where ``fcntl`` is
+    unavailable — in-process callers are expected to hold their own
+    mutual exclusion (the campaign daemon's per-store asyncio locks) so
+    only the multi-process guarantee is lost there.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover — non-POSIX platforms
+        yield
+        return
+    with path.open("a") as handle:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
 
 class ShardStore:
@@ -196,14 +264,21 @@ class ShardStore:
     @staticmethod
     def _repair(path: Path) -> None:
         """Drop a partially-written trailing line left by a mid-write kill."""
-        if not path.exists():
-            return
-        data = path.read_bytes()
-        if not data or data.endswith(b"\n"):
-            return
-        keep = data.rfind(b"\n") + 1
-        with path.open("r+b") as handle:
-            handle.truncate(keep)
+        repair_jsonl(path)
+
+    # ------------------------------------------------------------------
+    # Cross-process exclusion.
+    # ------------------------------------------------------------------
+    def exclusive_lock(self):
+        """Context manager holding this store's advisory write lock.
+
+        Blocks until no other holder — in this process or any other —
+        has the store's ``.lock`` file locked.  The campaign daemon
+        wraps each job's execution in this so two daemons (or a daemon
+        racing a CLI sweep) sharing one store root never compute a cell
+        twice; plain readers never take it.
+        """
+        return advisory_lock(self.root / LOCK_FILENAME)
 
     # ------------------------------------------------------------------
     # Reading.
@@ -219,13 +294,7 @@ class ShardStore:
         the file, under the writer's ownership of the shard.
         """
         path = self.shard_path(app_name, mode, errors)
-        if not path.exists():
-            return []
-        data = path.read_bytes()
-        if data and not data.endswith(b"\n"):
-            data = data[:data.rfind(b"\n") + 1]
-        records = [RunRecord.from_json(json.loads(line))
-                   for line in data.decode("utf-8").splitlines() if line]
+        records = [RunRecord.from_json(line) for line in read_jsonl(path)]
         records.sort(key=lambda record: record.run_index)
         return records
 

@@ -15,7 +15,10 @@ Modules:
   description of a campaign (HTTP request body, CLI resolver output and
   ``meta.json`` pinning record are all the same codec);
 * :mod:`repro.service.http`   — minimal stdlib asyncio HTTP/1.1 layer;
-* :mod:`repro.service.daemon` — :class:`CampaignService`, the daemon;
+* :mod:`repro.service.daemon` — :class:`CampaignService`, the daemon
+  (concurrent-lane scheduler, per-store locking);
+* :mod:`repro.service.journal` — :class:`JobJournal`, the crash-safe
+  job ledger the daemon replays on restart;
 * :mod:`repro.service.client` — :class:`ServiceClient`, the blocking
   HTTP client the CLI ``submit`` command and the worker registration
   loop use.
@@ -25,10 +28,12 @@ Everything here is stdlib-only: no web framework, no new dependencies.
 
 from .client import ServiceClient
 from .daemon import CampaignService
+from .journal import JobJournal
 from .spec import CampaignSpec
 
 __all__ = [
     "CampaignService",
     "CampaignSpec",
+    "JobJournal",
     "ServiceClient",
 ]

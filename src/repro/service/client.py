@@ -146,6 +146,10 @@ class ServiceClient:
                  if names else "")
         return self._request("GET", f"/v1/campaigns/{job}/figures{query}")
 
+    def jobs(self) -> List[Dict]:
+        """Every job the daemon knows about (including journal-restored)."""
+        return self._request("GET", "/v1/campaigns")["jobs"]
+
     # ------------------------------------------------------------------
     # Workers and liveness.
     # ------------------------------------------------------------------
@@ -162,5 +166,5 @@ class ServiceClient:
         return self._request("GET", "/v1/workers")["workers"]
 
     def health(self) -> Dict:
-        """The daemon's liveness payload."""
+        """The daemon's liveness payload (lanes, queue depth, journal)."""
         return self._request("GET", "/v1/health")

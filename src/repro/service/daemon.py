@@ -15,11 +15,20 @@ Jobs are identified by their spec's ``cache_key`` — a byte-identical
 resubmission coalesces onto the existing job instead of queueing again —
 and filed into a shard store chosen by the spec's ``store_key`` (the
 hash of its record-determining parameters), so campaigns that can share
-records do.  One scheduler task drains the job queue **sequentially**:
-with a single execution lane, two overlapping specs can never compute
-the same cell twice — the second job finds the first's records in the
-store and only schedules the difference.  The fan-out happens *inside* a
-job, across the worker fleet.
+records do.  ``lanes`` worker-lane tasks (``serve --lanes N``) drain the
+job queue concurrently; before running, each lane takes the job's
+per-``store_key`` asyncio lock and then the store's cross-process
+advisory lock file (:meth:`~repro.core.store.ShardStore.exclusive_lock`),
+so two jobs — or two daemons sharing a root — that touch the same store
+still never compute a cell twice, while jobs with distinct store keys
+run genuinely in parallel.  The fan-out *inside* a job happens across
+the worker fleet, exactly as before.
+
+Every job transition is journalled to ``<root>/jobs.jsonl``
+(:class:`~repro.service.journal.JobJournal`); on startup the daemon
+replays the journal, restoring finished jobs for status queries and
+re-enqueueing interrupted ones, which resume from their partial shard
+stores via the orchestrator's missing-index planning.
 
 Workers dial in: a ``python -m repro worker --register <url>`` process
 re-POSTs its address to ``/v1/workers`` every few seconds, and the
@@ -41,12 +50,13 @@ HTTP API (all JSON; see ``docs/ARCHITECTURE.md`` for the full table)::
     GET  /v1/campaigns/<key>/figures  rendered figures
     POST /v1/workers                  register/heartbeat a worker
     GET  /v1/workers                  live fleet
-    GET  /v1/health                   liveness probe
+    GET  /v1/health                   liveness probe (lanes, queue, journal)
 """
 
 from __future__ import annotations
 
 import asyncio
+import os
 import threading
 import time
 import traceback
@@ -55,6 +65,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..core import MissingCellError, ShardStore
 from ..exec import SocketExecutor, parse_worker_address
 from .http import HttpError, Request, Response, read_request, split_path
+from .journal import JOURNAL_FILENAME, JobJournal, ReplayedJob
 from .spec import CampaignSpec
 
 #: Seconds a worker stays in the live fleet after its last heartbeat.
@@ -64,11 +75,20 @@ DEFAULT_WORKER_TTL = 30.0
 PROGRESS_TAIL = 50
 
 
+def default_lanes() -> int:
+    """Default scheduler width: one lane per core, capped at four.
+
+    The cap keeps a laptop-sized default; operators with wide machines
+    and disjoint-store workloads raise it with ``serve --lanes N``.
+    """
+    return max(1, min(4, os.cpu_count() or 1))
+
+
 class WorkerRegistry:
     """Addresses of workers that dialled in, aged by their heartbeats.
 
     Thread-safe: handlers register from the event loop while running
-    jobs read the live fleet from the scheduler's executor thread.
+    jobs read the live fleet from the scheduler lanes' executor threads.
     """
 
     def __init__(self, ttl: float = DEFAULT_WORKER_TTL) -> None:
@@ -88,11 +108,19 @@ class WorkerRegistry:
             self._last_seen.pop(address, None)
 
     def live(self) -> List[str]:
-        """Addresses heard from within the TTL, expired ones pruned."""
-        horizon = time.monotonic() - self.ttl
+        """Addresses heard from within the TTL, expired ones pruned.
+
+        The horizon is computed and the expired entries deleted entirely
+        under the lock, in place — concurrent ``register`` calls between
+        a snapshot and a rebind can never be lost, and callers iterating
+        a previous ``live()`` result hold their own list.
+        """
         with self._lock:
-            self._last_seen = {address: seen for address, seen
-                               in self._last_seen.items() if seen >= horizon}
+            horizon = time.monotonic() - self.ttl
+            expired = [address for address, seen in self._last_seen.items()
+                       if seen < horizon]
+            for address in expired:
+                del self._last_seen[address]
             return sorted(self._last_seen)
 
     def snapshot(self) -> List[Dict]:
@@ -119,7 +147,43 @@ class Job:
         self.report: Dict = {}
         #: Executor backends the job actually started — 0 for cache hits.
         self.executors_started = 0
+        #: Scheduler lane the job last ran on (``None`` until started).
+        self.lane: Optional[int] = None
+        #: True when this job's state came from a journal replay rather
+        #: than a live run in this daemon process.
+        self.restored = False
         self.progress: List[str] = []
+
+    @classmethod
+    def from_replay(cls, entry: ReplayedJob) -> "Job":
+        """Rebuild a job from its folded journal state (marked restored)."""
+        job = cls(entry.spec)
+        job.state = "queued" if entry.interrupted else entry.state
+        job.submitted = entry.submitted or job.submitted
+        job.finished = entry.finished
+        job.error = entry.error
+        job.report = dict(entry.report)
+        job.executors_started = entry.executors_started
+        job.lane = None
+        job.restored = True
+        return job
+
+    def reset_for_requeue(self) -> None:
+        """Return a restored terminal job to the queue for a re-run.
+
+        Used when a journal-restored job is resubmitted: the re-run
+        flows through the content-addressed cache, so a genuinely
+        finished job completes again with 0 runs and 0 executors —
+        re-verification is free, and an incomplete store gets healed.
+        """
+        self.state = "queued"
+        self.error = None
+        self.report = {}
+        self.executors_started = 0
+        self.finished = None
+        self.lane = None
+        self.restored = False
+        self.submitted = time.time()
 
     def to_json(self) -> Dict:
         """Status payload for the HTTP API."""
@@ -131,31 +195,51 @@ class Job:
             "spec": self.spec.to_json(),
             "report": self.report,
             "executors_started": self.executors_started,
+            "lane": self.lane,
+            "restored": self.restored,
+            "submitted": self.submitted,
+            "finished": self.finished,
             "progress": self.progress[-10:],
         }
 
 
 class CampaignService:
-    """The campaign daemon: HTTP front end + sequential job scheduler.
+    """The campaign daemon: HTTP front end + concurrent-lane scheduler.
 
     ``root`` is the cache root; each distinct ``store_key`` gets a shard
-    store under ``root/stores/``.  ``execution`` carries default
-    execution options for every job (engine, chunk size, worker secret,
-    ...) — never record-determining parameters, which come from each
-    job's spec.
+    store under ``root/stores/`` and job transitions are journalled to
+    ``root/jobs.jsonl``.  ``lanes`` sets the scheduler width (how many
+    jobs may run at once; same-store jobs still serialize on the store
+    locks).  ``execution`` carries default execution options for every
+    job (engine, chunk size, worker secret, ...) — never
+    record-determining parameters, which come from each job's spec.
     """
 
     def __init__(self, root, *, worker_ttl: float = DEFAULT_WORKER_TTL,
                  secret: Optional[str] = None,
-                 execution: Optional[Dict] = None) -> None:
+                 execution: Optional[Dict] = None,
+                 lanes: Optional[int] = None) -> None:
         from pathlib import Path
 
         self.root = Path(root)
         self.registry = WorkerRegistry(ttl=worker_ttl)
         self.secret = secret
         self.execution = dict(execution or {})
+        self.lanes = default_lanes() if lanes is None else int(lanes)
+        if self.lanes < 1:
+            raise ValueError(f"--lanes must be >= 1, got {self.lanes}")
+        self.journal = JobJournal(self.root / JOURNAL_FILENAME)
         self.jobs: Dict[str, Job] = {}
-        self._queue: "asyncio.Queue[Job]" = asyncio.Queue()
+        self.jobs_resumed = 0
+        self.jobs_restored = 0
+        self.journal_skipped = 0
+        # Loop-bound state (queue, locks, lane table) is created inside
+        # :meth:`serve` — binding it here would tie it to whatever loop
+        # happens to be current at construction time (a py3.9 hazard).
+        self._queue: Optional["asyncio.Queue[Job]"] = None
+        self._store_locks: Dict[str, asyncio.Lock] = {}
+        self._lane_busy: List[Optional[str]] = []
+        self._draining = False
         self._stop = asyncio.Event()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
@@ -166,11 +250,18 @@ class CampaignService:
     # ------------------------------------------------------------------
     def store_for(self, spec: CampaignSpec) -> ShardStore:
         """The shard store all campaigns with this spec's content share."""
-        return ShardStore(self.root / "stores" / spec.store_key[:16],
+        return ShardStore(self.root / "stores" / spec.store_dir,
                           model=spec.model)
 
+    def _store_lock(self, store_key: str) -> asyncio.Lock:
+        """This daemon's in-process lock for one store (lazily created)."""
+        lock = self._store_locks.get(store_key)
+        if lock is None:
+            lock = self._store_locks[store_key] = asyncio.Lock()
+        return lock
+
     # ------------------------------------------------------------------
-    # Job execution (scheduler thread).
+    # Job execution (lane threads).
     # ------------------------------------------------------------------
     def _job_execution(self, fleet: Sequence[str]) -> Dict:
         """Execution options for one job given the current live fleet."""
@@ -195,19 +286,28 @@ class CampaignService:
         return _hook
 
     def _run_job(self, job: Job) -> None:
-        """Run one campaign to completion (blocking; scheduler thread)."""
+        """Run one campaign to completion (blocking; a lane's thread).
+
+        The store's cross-process advisory lock is held for the whole
+        sweep: a second daemon sharing this root blocks rather than
+        interleaving writes, and on entry the sweep re-plans against
+        whatever the previous holder wrote — cells computed while we
+        waited become cache hits.
+        """
         from ..api import build_orchestrator
 
         def _progress(message: str) -> None:
             job.progress.append(message)
             del job.progress[:-PROGRESS_TAIL]
 
+        store = self.store_for(job.spec)
         orchestrator = build_orchestrator(
-            job.spec, self.store_for(job.spec), progress=_progress,
+            job.spec, store, progress=_progress,
             on_executor=self._on_executor(job),
             **self._job_execution(self.registry.live()),
         )
-        report = orchestrator.run()
+        with store.exclusive_lock():
+            report = orchestrator.run()
         complete = sum(1 for status in report.statuses if status.complete)
         job.report = {
             "cells_total": report.cells_total,
@@ -223,25 +323,40 @@ class CampaignService:
             job.error = (f"{report.cells_total - complete} cell(s) "
                          f"incomplete after the sweep")
 
-    async def _scheduler(self) -> None:
-        """Drain the job queue, one campaign at a time.
+    async def _lane(self, index: int) -> None:
+        """One scheduler lane: drain the queue, one campaign at a time.
 
-        Sequential on purpose: a single execution lane means concurrent
-        clients submitting overlapping specs can never compute one cell
-        twice — later jobs find earlier jobs' records in the store.
-        Parallelism lives *inside* a job, across the worker fleet.
+        Lanes serialize per store (the asyncio store lock, then the
+        store's cross-process flock inside :meth:`_run_job`) so
+        overlapping specs never compute one cell twice; jobs on distinct
+        stores run in parallel across lanes.  Lock ordering is fixed —
+        queue, store asyncio lock, store flock — and each lane holds at
+        most one store lock, so lanes cannot deadlock.
         """
         while True:
             job = await self._queue.get()
+            self._lane_busy[index] = job.key
             job.state = "running"
+            job.lane = index
+            job.restored = False
+            self.journal.record("start", job.key, lane=index)
             try:
-                await asyncio.to_thread(self._run_job, job)
+                async with self._store_lock(job.spec.store_key):
+                    await asyncio.to_thread(self._run_job, job)
             except Exception as exc:  # noqa: BLE001 — reported to clients
                 job.state = "failed"
                 job.error = f"{type(exc).__name__}: {exc}"
                 job.progress.append(traceback.format_exc(limit=5))
-            finally:
                 job.finished = time.time()
+                self.journal.record("fail", job.key, error=job.error)
+            else:
+                job.finished = time.time()
+                self.journal.record(
+                    "finish", job.key, state=job.state, error=job.error,
+                    report=job.report,
+                    executors_started=job.executors_started)
+            finally:
+                self._lane_busy[index] = None
                 self._queue.task_done()
 
     # ------------------------------------------------------------------
@@ -254,6 +369,9 @@ class CampaignService:
         return job
 
     async def _submit(self, request: Request) -> Response:
+        if self._draining:
+            raise HttpError(503, "service is draining; "
+                                 "not accepting new campaigns")
         try:
             spec = CampaignSpec.from_json(request.json())
         except ValueError as exc:
@@ -262,6 +380,16 @@ class CampaignService:
         if job is None:
             job = Job(spec)
             self.jobs[job.key] = job
+            self.journal.record("submit", job.key, spec=spec.to_json())
+            await self._queue.put(job)
+            return Response.json(job.to_json(), status=202)
+        if job.restored and job.state in ("complete", "failed"):
+            # A journal-restored terminal job: this process never ran it,
+            # so re-verify through the cache — a truly finished store
+            # completes again with 0 runs / 0 executors, an incomplete
+            # one is healed by the missing-index resume path.
+            job.reset_for_requeue()
+            self.journal.record("submit", job.key, spec=spec.to_json())
             await self._queue.put(job)
             return Response.json(job.to_json(), status=202)
         # Byte-identical resubmission: coalesce onto the existing job —
@@ -346,14 +474,31 @@ class CampaignService:
         return Response.text("\n\n".join(figure.to_table()
                                          for figure in rendered))
 
+    def _health_payload(self) -> Dict:
+        """Liveness + scheduler observability for ``/v1/health``."""
+        busy = [key for key in self._lane_busy if key is not None]
+        journal = self.journal.stats()
+        journal.update({
+            "jobs_resumed": self.jobs_resumed,
+            "jobs_restored": self.jobs_restored,
+            "skipped": self.journal_skipped,
+        })
+        return {
+            "status": "draining" if self._draining else "ok",
+            "jobs": len(self.jobs),
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "lanes": {"total": self.lanes, "busy": len(busy), "jobs": busy},
+            "journal": journal,
+            "workers": self.registry.snapshot(),
+        }
+
     async def _route(self, request: Request) -> Response:
         path = split_path(request.path)
         if path[:1] != ("v1",):
             raise HttpError(404, f"unknown path {request.path!r}")
         tail = path[1:]
         if tail == ("health",):
-            return Response.json({"status": "ok", "jobs": len(self.jobs),
-                                  "workers": self.registry.snapshot()})
+            return Response.json(self._health_payload())
         if tail == ("workers",):
             if request.method == "POST":
                 body = request.json()
@@ -416,6 +561,27 @@ class CampaignService:
     # ------------------------------------------------------------------
     # Lifecycle.
     # ------------------------------------------------------------------
+    async def _replay_journal(self) -> None:
+        """Restore the job table from the journal (startup only).
+
+        Finished jobs come back ``restored`` and answer status queries
+        from their journalled reports; interrupted jobs (last event
+        ``submit``/``start``) are re-enqueued and resume from whatever
+        their partial shard stores already hold.
+        """
+        replay = self.journal.replay()
+        self.journal_skipped = replay.skipped
+        for entry in replay.jobs:
+            if entry.spec.cache_key in self.jobs:
+                continue  # an earlier serve() in this process restored it
+            job = Job.from_replay(entry)
+            self.jobs[job.key] = job
+            if entry.interrupted:
+                self.jobs_resumed += 1
+                await self._queue.put(job)
+            else:
+                self.jobs_restored += 1
+
     async def serve(self, host: str = "127.0.0.1", port: int = 8340,
                     banner_stream=None,
                     ready: Optional[threading.Event] = None) -> None:
@@ -429,6 +595,12 @@ class CampaignService:
 
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
+        self._draining = False
+        # Loop-bound scheduler state lives here, not in __init__.
+        self._queue = asyncio.Queue()
+        self._store_locks = {}
+        self._lane_busy = [None] * self.lanes
+        await self._replay_journal()
         server = await asyncio.start_server(self._handle, host, port)
         bound_host, bound_port = server.sockets[0].getsockname()[:2]
         if ":" in bound_host:
@@ -437,14 +609,24 @@ class CampaignService:
         stream = banner_stream if banner_stream is not None else sys.stdout
         print(f"repro-service listening on {self.url}", file=stream,
               flush=True)
-        scheduler = asyncio.create_task(self._scheduler())
+        lanes = [asyncio.create_task(self._lane(index))
+                 for index in range(self.lanes)]
         if ready is not None:
             ready.set()
         try:
             async with server:
                 await self._stop.wait()
         finally:
-            scheduler.cancel()
+            for task in lanes:
+                task.cancel()
+
+    def drain(self) -> None:
+        """Stop accepting new campaigns; queued/running jobs keep going.
+
+        Subsequent ``POST /v1/campaigns`` answer 503 and ``/v1/health``
+        reports ``status: draining``.  Thread-safe (a bare flag write).
+        """
+        self._draining = True
 
     def stop(self) -> None:
         """Ask a running :meth:`serve` loop to shut down (thread-safe)."""

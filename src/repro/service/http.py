@@ -37,6 +37,7 @@ _REASONS = {
     409: "Conflict",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 

@@ -1,0 +1,205 @@
+"""`JobJournal`: the campaign daemon's crash-safe job ledger.
+
+The content-addressed shard stores already make campaign *results*
+durable, but before this module the daemon's job table lived only in
+memory: a restart forgot every submitted and running job.  The journal
+closes that gap with the same append-only JSONL idiom the
+:class:`~repro.core.store.ShardStore` uses — whole-line appends, fsynced,
+writer-owned repair of a torn trailing line
+(:func:`~repro.core.store.repair_jsonl`), torn-tail-tolerant reads
+(:func:`~repro.core.store.read_jsonl`).
+
+One line per job *transition*, in the canonical compact JSON encoding::
+
+    {"event":"submit","job":<cache_key>,"spec":{...},"time":t}
+    {"event":"start","job":<cache_key>,"lane":n,"time":t}
+    {"event":"finish","job":<cache_key>,"state":"complete"|"failed",
+     "report":{...},"executors_started":n,"error":null|"...","time":t}
+    {"event":"fail","job":<cache_key>,"error":"...","time":t}
+
+``submit`` carries the full :class:`CampaignSpec` (its canonical
+``to_json`` form), so replay needs nothing but the journal.  Replay
+(:meth:`JobJournal.replay`) folds each job's events in order to its last
+state: jobs whose last event is ``finish``/``fail`` are *restored* —
+status queries keep answering for them across restarts — while jobs
+whose last event is ``submit``/``start`` were interrupted and are
+*resumed*: the daemon re-enqueues them, and the sweep orchestrator's
+missing-index planning picks each one up exactly where its partial shard
+store left off.  Lines that do not parse, or whose spec a newer (or
+older) daemon refuses, are counted and skipped — a journal never bricks
+a restart.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..core.store import read_jsonl, repair_jsonl
+from .spec import CampaignSpec, canonical_json
+
+#: The journal's filename under the daemon's cache root.
+JOURNAL_FILENAME = "jobs.jsonl"
+
+#: Job lifecycle transitions the journal records.
+EVENT_KINDS = ("submit", "start", "finish", "fail")
+
+
+@dataclass
+class ReplayedJob:
+    """One job's folded state after a journal replay.
+
+    ``state`` is ``"queued"`` for interrupted jobs (last event was
+    ``submit`` or ``start`` — the daemon re-enqueues these) and
+    ``"complete"``/``"failed"`` for finished ones (restored for status
+    queries only).
+    """
+
+    spec: CampaignSpec
+    state: str = "queued"
+    submitted: float = 0.0
+    finished: Optional[float] = None
+    error: Optional[str] = None
+    report: Dict = field(default_factory=dict)
+    executors_started: int = 0
+    lane: Optional[int] = None
+
+    @property
+    def interrupted(self) -> bool:
+        """True when the job never reached a terminal journal event."""
+        return self.state not in ("complete", "failed")
+
+
+@dataclass
+class JournalReplay:
+    """Everything a daemon restart learns from its journal."""
+
+    #: Folded jobs in first-submission order.
+    jobs: List[ReplayedJob] = field(default_factory=list)
+    #: Total journal lines read (including skipped ones).
+    events: int = 0
+    #: Lines dropped: unparseable events, refused specs, or transitions
+    #: for jobs whose submit line was itself dropped.
+    skipped: int = 0
+
+
+class JobJournal:
+    """Append-only JSONL journal of job transitions, keyed by cache key.
+
+    Thread-safe: the daemon appends from scheduler-lane threads and the
+    HTTP submit path concurrently.  Every append repairs a torn trailing
+    line first (the writer owns the file) and fsyncs, so the journal
+    survives a SIGKILL at any byte offset with at most the in-flight
+    line lost — and that line's transition is recoverable: a lost
+    ``start`` replays as a queued job, a lost ``finish`` replays as an
+    interrupted job whose re-run is a pure cache hit.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._events: Optional[int] = None
+
+    def record(self, event: str, job_key: str, **fields) -> None:
+        """Append one transition line (fsynced) for ``job_key``.
+
+        ``fields`` are event-specific extras (``spec`` for submits,
+        ``lane`` for starts, ``state``/``report``/``error`` for
+        terminals); ``time`` is stamped here.
+        """
+        if event not in EVENT_KINDS:
+            raise ValueError(f"unknown journal event {event!r}; "
+                             f"expected one of {EVENT_KINDS}")
+        payload = {"event": event, "job": job_key,
+                   "time": round(time.time(), 3), **fields}
+        line = canonical_json(payload) + "\n"
+        with self._lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            repair_jsonl(self.path)
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
+            if self._events is not None:
+                self._events += 1
+
+    def replay(self) -> JournalReplay:
+        """Fold the journal into per-job last states, oldest submit first.
+
+        A later ``submit`` for an already-terminal job (the daemon's
+        re-verification path for journal-restored jobs) resets that job
+        to ``queued`` in place, keeping its original position.
+        """
+        replay = JournalReplay()
+        jobs: Dict[str, ReplayedJob] = {}
+        with self._lock:
+            lines = read_jsonl(self.path)
+        for data in lines:
+            replay.events += 1
+            if not isinstance(data, dict):
+                replay.skipped += 1
+                continue
+            event, key = data.get("event"), data.get("job")
+            if event == "submit":
+                try:
+                    spec = CampaignSpec.from_json(data.get("spec") or {})
+                except ValueError:
+                    replay.skipped += 1
+                    continue
+                if spec.cache_key != key:
+                    replay.skipped += 1  # journal edited or key drifted
+                    continue
+                entry = jobs.get(key)
+                if entry is None:
+                    entry = ReplayedJob(spec=spec)
+                    jobs[key] = entry
+                    replay.jobs.append(entry)
+                else:
+                    # Re-verification submit: back to the queue in place.
+                    entry.state = "queued"
+                    entry.error = None
+                    entry.report = {}
+                    entry.executors_started = 0
+                    entry.finished = None
+                    entry.lane = None
+                entry.submitted = data.get("time", 0.0)
+            elif event in ("start", "finish", "fail"):
+                entry = jobs.get(key)
+                if entry is None:
+                    replay.skipped += 1  # transition without a submit
+                    continue
+                if event == "start":
+                    entry.state = "running"
+                    entry.lane = data.get("lane")
+                elif event == "finish":
+                    entry.state = data.get("state", "complete")
+                    entry.report = data.get("report") or {}
+                    entry.executors_started = data.get(
+                        "executors_started", 0)
+                    entry.error = data.get("error")
+                    entry.finished = data.get("time")
+                else:
+                    entry.state = "failed"
+                    entry.error = data.get("error") or "unknown failure"
+                    entry.report = data.get("report") or {}
+                    entry.finished = data.get("time")
+            else:
+                replay.skipped += 1
+        self._events = replay.events
+        return replay
+
+    def stats(self) -> Dict:
+        """Journal health for ``/v1/health``: path and event count.
+
+        The count is cached after the first full read (startup replay)
+        and maintained by appends, so health probes never re-read the
+        file.
+        """
+        if self._events is None:
+            with self._lock:
+                self._events = len(read_jsonl(self.path))
+        return {"path": str(self.path), "events": self._events}

@@ -208,6 +208,17 @@ class CampaignSpec:
         return hashlib.sha256(
             canonical_json(self.store_meta()).encode("utf-8")).hexdigest()
 
+    @property
+    def store_dir(self) -> str:
+        """Directory name of this spec's shard store under the daemon root.
+
+        A 16-hex-digit prefix of :attr:`store_key` — long enough that
+        collisions are out of reach, short enough for readable paths;
+        the daemon and the journal replay must agree on it, so it lives
+        here rather than in the daemon.
+        """
+        return self.store_key[:16]
+
     # ------------------------------------------------------------------
     # Derived configuration objects.
     # ------------------------------------------------------------------

@@ -77,16 +77,33 @@ class TestSubmit:
     def test_local_payload_matches_the_daemon_shape(self, swept):
         job = api.submit(SPEC, swept)  # warm resubmit: pure cache hit
         assert set(job) == {"job", "store", "state", "error", "spec",
-                            "report", "executors_started", "progress"}
+                            "report", "executors_started", "lane",
+                            "restored", "submitted", "finished", "progress"}
         assert job["job"] == SPEC.cache_key
         assert job["store"] == SPEC.store_key
         assert job["state"] == "complete"
         assert job["spec"] == SPEC.to_json()
         assert job["report"]["runs_executed"] == 0
         assert job["executors_started"] == 0
+        # Local runs have no scheduler lane and no journal behind them,
+        # but the keys exist so callers are insensitive to where the
+        # campaign ran.
+        assert job["lane"] is None
+        assert job["restored"] is False
+        assert job["finished"] >= job["submitted"] > 0
 
 
 class TestReads:
+    def test_status_requires_exactly_one_of_store_and_url(self, swept):
+        with pytest.raises(ValueError, match="exactly one of"):
+            api.status()
+        with pytest.raises(ValueError, match="exactly one of"):
+            api.status(swept, url="http://127.0.0.1:1")
+
+    def test_status_url_against_an_unreachable_daemon(self):
+        with pytest.raises(ConnectionError, match="unreachable"):
+            api.status(url="http://127.0.0.1:9", job="deadbeef")
+
     def test_status_infers_the_spec_from_store_meta(self, swept):
         statuses = api.status(swept, SPEC)
         assert len(statuses) == 4

@@ -1,11 +1,15 @@
 """Property-based tests (hypothesis) for core data structures and invariants."""
 
+import dataclasses
+import json
 import math
 
-from hypothesis import given, settings
+import pytest
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.compiler.minic import compile_source
+from repro.core import StoppingRule
 from repro.fidelity import percent_matching, psnr, signal_to_noise_db
 from repro.isa import (
     INT_BITS,
@@ -15,6 +19,7 @@ from repro.isa import (
     int_to_bits,
     wrap_int,
 )
+from repro.service.spec import SPEC_MODES, SUITE_NAMES, CampaignSpec, canonical_json
 from repro.sim import Machine, Outcome
 from repro.workloads import bytes_to_words, words_to_bytes
 
@@ -129,3 +134,114 @@ class TestCompilerExecutionProperties:
         """
         result = Machine(compile_source(source)).run()
         assert result.exit_value == n * (n + 1) // 2
+
+
+# ----------------------------------------------------------------------
+# CampaignSpec: the service codec and content-addressing invariants.
+# ----------------------------------------------------------------------
+_SPEC_FIELDS = {field.name: field.default
+                for field in dataclasses.fields(CampaignSpec)}
+
+stopping_rules = st.integers(min_value=1, max_value=8).flatmap(
+    lambda floor: st.builds(
+        StoppingRule,
+        ci_width=st.floats(min_value=0.5, max_value=50.0),
+        floor=st.just(floor),
+        cap=st.integers(min_value=floor, max_value=floor + 32),
+        confidence=st.floats(min_value=0.5, max_value=0.99),
+    ))
+
+mode_tuples = st.sampled_from([("protected",), ("unprotected",), SPEC_MODES])
+
+app_tuples = st.lists(
+    st.sampled_from(("adpcm", "susan", "crc32", "sha", "dijkstra", "fft")),
+    min_size=1, max_size=4, unique=True).map(tuple)
+
+error_tuples = st.lists(st.integers(min_value=0, max_value=16),
+                        min_size=1, max_size=5, unique=True).map(tuple)
+
+campaign_specs = st.builds(
+    CampaignSpec,
+    suite=st.sampled_from(SUITE_NAMES),
+    runs_per_cell=st.integers(min_value=1, max_value=64),
+    base_seed=st.integers(min_value=0, max_value=2**31 - 1),
+    workloads=st.integers(min_value=1, max_value=4),
+    model=st.sampled_from(("control-bit", "any-bit", "register-file")),
+    stopping=st.none() | stopping_rules,
+    apps=st.none() | app_tuples,
+    modes=mode_tuples,
+    errors=st.none() | error_tuples,
+    include_table2=st.booleans(),
+)
+
+
+class TestCampaignSpecProperties:
+    """Randomized checks of the codec the whole service layer trusts."""
+
+    @given(campaign_specs)
+    def test_canonical_roundtrip_is_identity(self, spec):
+        # HTTP body -> spec -> HTTP body must be a fixed point: the
+        # daemon and every client hash this encoding.
+        again = CampaignSpec.from_json(json.loads(spec.canonical()))
+        assert again == spec
+        assert again.canonical() == spec.canonical()
+        assert again.cache_key == spec.cache_key
+        assert again.store_key == spec.store_key
+
+    @given(campaign_specs,
+           st.text(alphabet="abcdefghijklmnopqrstuvwxyz_",
+                   min_size=1, max_size=16))
+    def test_unknown_keys_are_refused_not_dropped(self, spec, name):
+        assume(name not in _SPEC_FIELDS)
+        data = spec.to_json()
+        data[name] = 1
+        with pytest.raises(ValueError, match="unknown campaign spec"):
+            CampaignSpec.from_json(data)
+
+    @given(campaign_specs, st.data())
+    def test_explicit_defaults_never_change_identity(self, spec, data):
+        # Default eliding means a spec spelled with any subset of its
+        # elided defaults written out explicitly must decode to the very
+        # same spec — same job key, same store key, byte-equal meta pin.
+        encoded = spec.to_json()
+        elided = sorted(name for name in _SPEC_FIELDS
+                        if name not in encoded)
+        chosen = data.draw(st.lists(st.sampled_from(elided), unique=True)
+                           if elided else st.just([]))
+        augmented = dict(encoded)
+        for name in chosen:
+            if name == "runs_per_cell" and spec.stopping is not None:
+                continue  # pinned under adaptive sampling, never encoded
+            value = _SPEC_FIELDS[name]
+            augmented[name] = (list(value) if isinstance(value, tuple)
+                               else value)
+        again = CampaignSpec.from_json(augmented)
+        assert again == spec
+        assert again.cache_key == spec.cache_key
+        assert canonical_json(again.store_meta()) \
+            == canonical_json(spec.store_meta())
+
+    @given(campaign_specs, st.data())
+    def test_coverage_never_changes_store_identity(self, spec, data):
+        # The content-addressing invariant the shared stores rely on:
+        # coverage parameters select cells but may not move the store.
+        other = dataclasses.replace(
+            spec,
+            apps=data.draw(st.none() | app_tuples),
+            modes=data.draw(mode_tuples),
+            errors=data.draw(st.none() | error_tuples),
+            include_table2=data.draw(st.booleans()),
+        )
+        assert other.store_key == spec.store_key
+        assert canonical_json(other.store_meta()) \
+            == canonical_json(spec.store_meta())
+
+    @given(campaign_specs, st.data())
+    def test_content_changes_move_both_keys(self, spec, data):
+        # And the converse: any content edit moves the store (and hence
+        # the job) somewhere else entirely.
+        seed = data.draw(st.integers(min_value=0, max_value=2**31 - 1))
+        assume(seed != spec.base_seed)
+        other = dataclasses.replace(spec, base_seed=seed)
+        assert other.store_key != spec.store_key
+        assert other.cache_key != spec.cache_key

@@ -44,11 +44,16 @@ def quick_spec(**overrides) -> CampaignSpec:
 
 
 def store_bytes(store: ShardStore):
-    """Relative path -> bytes, excluding the fleet.json telemetry sidecar."""
+    """Relative path -> bytes for a store's record payload.
+
+    Excludes the fleet.json telemetry sidecar and dot-named control
+    files (the ``.lock`` advisory lock) — neither carries record bytes.
+    """
     return {
         str(path.relative_to(store.root)): path.read_bytes()
         for path in sorted(store.root.rglob("*"))
         if path.is_file() and path.name != "fleet.json"
+        and not path.name.startswith(".")
     }
 
 
@@ -191,6 +196,44 @@ class TestWorkerRegistry:
         with pytest.raises(ValueError):
             registry.register("not-an-address")
 
+    def test_live_is_safe_against_concurrent_expiry_and_registration(self):
+        # Regression: live() used to rebind the underlying dict while
+        # pruning, so a register() racing the prune could land in the
+        # abandoned dict and be lost.  With a 0 TTL every entry expires
+        # instantly, maximising prune traffic; hammer live() and
+        # register() from threads and require no exception and no
+        # corrupted registry.
+        registry = WorkerRegistry(ttl=0.0)
+        stop = threading.Event()
+        errors = []
+
+        def hammer(action):
+            try:
+                while not stop.is_set():
+                    action()
+            except Exception as exc:  # pragma: no cover — the regression
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer,
+                             args=(lambda: registry.register(
+                                 "127.0.0.1:7006"),)),
+            threading.Thread(target=hammer, args=(registry.live,)),
+            threading.Thread(target=hammer, args=(registry.snapshot,)),
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.5)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not errors
+        # A registration that happened after the last prune is visible
+        # through a positive-TTL read of the same (never-rebound) dict.
+        registry.register("127.0.0.1:7006")
+        registry.ttl = 60.0
+        assert registry.live() == ["127.0.0.1:7006"]
+
 
 # ----------------------------------------------------------------------
 # The daemon over real HTTP.
@@ -235,9 +278,9 @@ class TestDaemonHttp:
 
     def test_warm_store_resubmission_is_a_pure_cache_hit(self, tmp_path,
                                                          service):
-        # A *restarted* daemon (fresh job table, same cache root) must
-        # serve an already-computed spec from disk: zero runs executed,
-        # zero executor backends constructed.
+        # A *restarted* daemon (journal-restored job table, same cache
+        # root) re-verifies a resubmitted finished spec through the
+        # cache: zero runs executed, zero executor backends constructed.
         client = ServiceClient(service.url)
         spec = quick_spec()
         client.wait(client.submit(spec)["job"], timeout=300)
