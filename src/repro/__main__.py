@@ -11,6 +11,8 @@ Commands:
 * ``submit``  — submit a campaign spec to a running daemon;
 * ``status``  — show per-cell progress of a store's grid;
 * ``tables``  — regenerate the paper's tables from a store;
+* ``analyze`` — static susceptibility analysis of one application
+  (no store needed; see docs/STATIC_ANALYSIS.md);
 * ``figures`` — regenerate the paper's figures from a store;
 * ``worker``  — run a TCP campaign worker (alias of
   ``python -m repro.exec.worker``).
@@ -423,7 +425,7 @@ def _cmd_tables(args) -> int:
     if _refuse_runs_under_adaptive(args, store.stopping_rule() is not None):
         return 2
     selected = args.tables or [1, 2, 3]
-    unknown = [number for number in selected if number not in (1, 2, 3, 4)]
+    unknown = [number for number in selected if number not in (1, 2, 3, 4, 5)]
     if unknown:
         return _usage_error(args, f"unknown table {unknown[0]}")
     rendered = api_tables(store, selected, apps=args.apps,
@@ -436,6 +438,43 @@ def _cmd_tables(args) -> int:
     for table in rendered:
         print(table.to_text())
         print()
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .api import analyze as api_analyze
+    from .core import TableData
+
+    report = api_analyze(
+        args.app, suite=args.suite, model=args.model,
+        protect_addresses=args.protect_addresses,
+        track_memory=args.track_memory,
+        respect_eligibility=not args.no_respect_eligibility,
+        protect_stack_registers=not args.no_protect_stack_registers)
+    if args.json:
+        _emit_json(report.to_json())
+        return 0
+    fates = report.fate_counts()
+    print(f"static susceptibility of {report.app!r} "
+          f"(suite={report.suite!r}, model={report.model!r})")
+    print(f"  {report.static_total} instructions, {len(report.sites)} "
+          f"register-writing sites, {report.tagged_count()} tagged "
+          f"low-reliability")
+    print("  fates: " + ", ".join(f"{fate}={fates[fate]}"
+                                  for fate in sorted(fates)))
+    table = TableData(
+        title=f"top {args.top} sites by susceptibility score",
+        headers=["Site", "Op", "Function", "Dest", "Fate", "Depth",
+                 "Window", "Risk", "Score"],
+    )
+    for site in report.top_sites(args.top):
+        table.add_row([
+            site.index, site.op, site.function or "-", site.dest, site.fate,
+            site.loop_depth + site.call_depth, site.window, site.risk,
+            site.score,
+        ])
+    print()
+    print(table.to_text())
     return 0
 
 
@@ -646,13 +685,45 @@ def build_parser() -> argparse.ArgumentParser:
     tables.add_argument("--tables", nargs="*", type=int, default=None,
                         metavar="N",
                         help="table numbers (default: 1 2 3; table 4 is the "
-                             "cross-fault-model outcome breakdown)")
+                             "cross-fault-model outcome breakdown, table 5 "
+                             "the static-oracle-vs-measured validation)")
     tables.add_argument("--models", nargs="*", default=None,
                         choices=MODEL_NAMES, metavar="MODEL",
                         help="fault models table 4 compares (default: all)")
     tables.add_argument("--model-errors", type=int, default=4, metavar="N",
                         help="errors per run for table 4 cells (default 4)")
     tables.set_defaults(handler=_cmd_tables)
+
+    analyze = commands.add_parser(
+        "analyze", help="static susceptibility analysis of one application")
+    analyze.add_argument("--app", required=True, metavar="NAME",
+                         help="application to analyze (e.g. susan)")
+    analyze.add_argument("--suite", choices=["small", "standard"],
+                         default="small",
+                         help="workload suite the app is drawn from "
+                              "(default 'small'; the analysis itself is "
+                              "static)")
+    analyze.add_argument("--model", default="control-bit",
+                         choices=MODEL_NAMES,
+                         help="fault model whose site population is scored "
+                              "(result-kind models only; default "
+                              "control-bit)")
+    analyze.add_argument("--top", type=int, default=10, metavar="N",
+                         help="sites shown in the text ranking (default 10; "
+                              "--json always emits all sites)")
+    analyze.add_argument("--protect-addresses", action="store_true",
+                         help="treat address operands as control uses "
+                              "(tagging ablation axis)")
+    analyze.add_argument("--track-memory", action="store_true",
+                         help="propagate control taint through memory "
+                              "(tagging ablation axis)")
+    analyze.add_argument("--no-respect-eligibility", action="store_true",
+                         help="tag inside functions the app excludes from "
+                              "protection too")
+    analyze.add_argument("--no-protect-stack-registers", action="store_true",
+                         help="allow tagging stack/frame-pointer writes")
+    _add_json_argument(analyze)
+    analyze.set_defaults(handler=_cmd_analyze)
 
     figures = commands.add_parser(
         "figures", help="regenerate the paper's figures from a store")

@@ -1,0 +1,180 @@
+"""ACE-style static susceptibility scoring of instruction sites.
+
+For every instruction that writes a register (the site population of the
+result-kind fault models), the oracle answers: *if a bit flips in this
+destination, how likely is it to matter, and how often is this site even
+hit?*  Both are static estimates:
+
+* **Fate** — where the corrupted value can end up, from the def-use
+  facts (:mod:`repro.compiler.passes.defuse`):
+
+  - ``control``: may reach a branch/indirect-jump operand — the paper's
+    control data, the class most likely to crash or hang a run;
+  - ``data``: never reaches control, but escapes to memory, an address
+    computation or an output channel — visible, usually as fidelity
+    degradation;
+  - ``masked``: has uses, but no chain ever becomes architecturally
+    visible — the flip is provably overwritten or discarded;
+  - ``dead``: no reaching use at all (includes ``$0`` destinations).
+
+* **Window** — the ACE-style lifetime: at how many static program
+  points the definition both reaches and stays live.  Long-lived values
+  have more consumers and more opportunity to matter.
+
+* **Loop weight** — the site's composed loop-nesting depth
+  (:mod:`repro.compiler.passes.dominators`): a site at depth ``d`` is
+  weighted ``8**d`` (a static stand-in for trip counts), because the
+  campaign draws injection targets uniformly over *dynamic* occurrences.
+
+``risk`` estimates per-hit severity (fate class scaled by the lifetime
+window); ``score = risk * 8**depth`` additionally folds in how often the
+site is hit, making it the rankable expected-failure-contribution
+estimate that ``table5_static_vs_dynamic`` validates against measured
+campaigns.  Only the *ranking* is meaningful — the constants are
+heuristic weights, not probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..compiler.passes import (
+    DefUseInfo,
+    LoopNesting,
+    compute_def_use,
+    compute_loop_nesting,
+)
+from ..isa import Program
+from ..isa.registers import REG_ZERO
+
+FATE_CONTROL = "control"
+FATE_DATA = "data"
+FATE_MASKED = "masked"
+FATE_DEAD = "dead"
+
+#: All fate classes, most to least severe.
+FATES = (FATE_CONTROL, FATE_DATA, FATE_MASKED, FATE_DEAD)
+
+#: Per-hit severity weight of each fate class.
+FATE_RISK: Dict[str, float] = {
+    FATE_CONTROL: 1.0,
+    FATE_DATA: 0.6,
+    FATE_MASKED: 0.05,
+    FATE_DEAD: 0.0,
+}
+
+#: Static stand-in for a loop's trip count: weight ``LOOP_BASE**depth``.
+LOOP_BASE = 8.0
+
+#: Lifetime windows saturate here when scaling risk.
+WINDOW_CAP = 32
+
+
+@dataclass(frozen=True)
+class SiteSusceptibility:
+    """Static susceptibility estimate for one register-writing site."""
+
+    index: int
+    op: str
+    function: Optional[str]
+    dest: str
+    fate: str
+    tagged: bool
+    loop_depth: int
+    call_depth: int
+    window: int
+    uses: int
+    risk: float
+    score: float
+
+    def to_json(self) -> Dict:
+        """Stable, deterministic JSON form (one site row)."""
+        return {
+            "index": self.index,
+            "op": self.op,
+            "function": self.function,
+            "dest": self.dest,
+            "fate": self.fate,
+            "tagged": self.tagged,
+            "loop_depth": self.loop_depth,
+            "call_depth": self.call_depth,
+            "window": self.window,
+            "uses": self.uses,
+            "risk": self.risk,
+            "score": self.score,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "SiteSusceptibility":
+        """Rebuild a site row from :meth:`to_json` output."""
+        return cls(**payload)
+
+
+def classify_fate(defuse: DefUseInfo, index: int) -> str:
+    """Fate class of the definition at ``index`` (see module docstring)."""
+    instruction = defuse.program.instructions[index]
+    defs = instruction.defs()
+    destination = defs[0] if defs else None
+    if destination is None or destination == REG_ZERO:
+        return FATE_DEAD
+    if index in defuse.control_reaching:
+        return FATE_CONTROL
+    if index in defuse.data_reaching:
+        return FATE_DATA
+    if defuse.chains.get(index):
+        return FATE_MASKED
+    return FATE_DEAD
+
+
+def site_risk(fate: str, window: int) -> float:
+    """Per-hit severity: fate weight scaled by the (capped) lifetime."""
+    base = FATE_RISK[fate]
+    if base == 0.0:
+        return 0.0
+    return base * (1.0 + min(window, WINDOW_CAP) / float(WINDOW_CAP))
+
+
+def score_sites(
+    program: Program,
+    defuse: Optional[DefUseInfo] = None,
+    nesting: Optional[LoopNesting] = None,
+    tagged: Optional[frozenset] = None,
+) -> List[SiteSusceptibility]:
+    """Score every register-writing site of ``program``, in index order."""
+    if defuse is None:
+        defuse = compute_def_use(program)
+    if nesting is None:
+        nesting = compute_loop_nesting(program)
+    if tagged is None:
+        tagged = defuse.tagged_sites()
+
+    sites: List[SiteSusceptibility] = []
+    for index, instruction in enumerate(program.instructions):
+        if not instruction.writes_register:
+            continue
+        destination = instruction.defs()[0]
+        fate = classify_fate(defuse, index)
+        window = defuse.live_slots.get(index, 0)
+        local_depth = nesting.instruction_depth.get(index, 0)
+        function = instruction.function
+        call_depth = (nesting.call_depth.get(function, 0)
+                      if function is not None else 0)
+        total_depth = nesting.total_depth(index)
+        risk = site_risk(fate, window)
+        score = risk * (LOOP_BASE ** total_depth)
+        sites.append(SiteSusceptibility(
+            index=index,
+            op=instruction.op.name,
+            function=function,
+            dest=destination.name,
+            fate=fate,
+            tagged=index in tagged,
+            loop_depth=local_depth,
+            call_depth=call_depth,
+            window=window,
+            uses=len(defuse.chains.get(index, ())),
+            risk=risk,
+            score=score,
+        ))
+    return sites

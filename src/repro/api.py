@@ -34,6 +34,7 @@ from .service.spec import CampaignSpec
 
 __all__ = [
     "CampaignSpec",
+    "analyze",
     "build_orchestrator",
     "figures",
     "results",
@@ -234,10 +235,11 @@ def tables(store: Optional[StoreLike], numbers: Sequence[int] = (1, 2, 3),
            model_errors: int = 4, config=None) -> List:
     """Render the paper's tables; returns :class:`TableData` objects.
 
-    Store-backed tables (2) read records from ``store`` under its pinned
-    parameters; analysis tables (1, 3) and the cross-model table (4)
-    simulate live.  Raises :class:`~repro.core.store.MissingCellError`
-    with resume guidance when the store lacks a required cell.
+    Store-backed tables (2, 5) read records from ``store`` under its
+    pinned parameters; analysis tables (1, 3) and the cross-model table
+    (4) simulate live.  Raises
+    :class:`~repro.core.store.MissingCellError` with resume guidance when
+    the store lacks a required cell.
     """
     from .experiments import tables as builders
 
@@ -258,9 +260,34 @@ def tables(store: Optional[StoreLike], numbers: Sequence[int] = (1, 2, 3),
         elif number == 4:
             rendered.append(builders.table4_fault_models(
                 config, apps=apps, models=models, errors=model_errors))
+        elif number == 5:
+            rendered.append(builders.table5_static_vs_dynamic(
+                config, apps=apps, store=bound))
         else:
-            raise ValueError(f"unknown table {number}; expected 1-4")
+            raise ValueError(f"unknown table {number}; expected 1-5")
     return rendered
+
+
+def analyze(app: str, *, suite: str = "small", model: str = "control-bit",
+            protect_addresses: bool = False, track_memory: bool = False,
+            respect_eligibility: bool = True,
+            protect_stack_registers: bool = True):
+    """Static susceptibility report for one application.
+
+    Runs the interprocedural def-use/lifetime analysis
+    (:mod:`repro.analysis`) over ``app``'s program and returns a
+    :class:`~repro.analysis.StaticSusceptibilityReport` — per-site fate
+    classification, ACE-style lifetime windows and loop-weighted
+    susceptibility scores.  Purely static: no workload is executed.  The
+    keyword options mirror the control-tagging ablation axes.
+    """
+    from .analysis import build_report
+
+    return build_report(
+        app, suite=suite, model=model,
+        protect_addresses=protect_addresses, track_memory=track_memory,
+        respect_eligibility=respect_eligibility,
+        protect_stack_registers=protect_stack_registers)
 
 
 def figures(store: StoreLike, names: Optional[Sequence[str]] = None, *,

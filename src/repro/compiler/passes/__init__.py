@@ -1,4 +1,5 @@
-"""Compiler analyses: CFG, data-flow framework, call graph, control tagging."""
+"""Compiler analyses: CFG, data-flow framework, call graph, control tagging,
+dominators/loops and interprocedural def-use chains."""
 
 from .callgraph import CallGraph, build_call_graph
 from .cfg import BasicBlock, ControlFlowGraph, build_cfg
@@ -17,6 +18,24 @@ from .dataflow import (
     compute_liveness,
     compute_reaching_definitions,
 )
+from .defuse import (
+    USE_CONTROL,
+    USE_LOAD_ADDRESS,
+    USE_OUTPUT,
+    USE_PROPAGATE,
+    USE_STORE_ADDRESS,
+    USE_STORE_DATA,
+    DefUseInfo,
+    compute_def_use,
+)
+from .dominators import (
+    FunctionDominators,
+    LoopNesting,
+    NaturalLoop,
+    compute_dominator_forest,
+    compute_function_dominators,
+    compute_loop_nesting,
+)
 
 __all__ = [
     "BasicBlock",
@@ -25,14 +44,28 @@ __all__ = [
     "ControlTaggingPass",
     "DataflowAnalysis",
     "DataflowResult",
+    "DefUseInfo",
+    "FunctionDominators",
     "LivenessAnalysis",
+    "LoopNesting",
     "MEM",
+    "NaturalLoop",
     "ReachingDefinitions",
     "TaggingReport",
+    "USE_CONTROL",
+    "USE_LOAD_ADDRESS",
+    "USE_OUTPUT",
+    "USE_PROPAGATE",
+    "USE_STORE_ADDRESS",
+    "USE_STORE_DATA",
     "build_call_graph",
     "build_cfg",
     "clear_tags",
+    "compute_def_use",
+    "compute_dominator_forest",
+    "compute_function_dominators",
     "compute_liveness",
+    "compute_loop_nesting",
     "compute_reaching_definitions",
     "tag_control_data",
 ]

@@ -35,7 +35,9 @@ from typing import Dict, Optional, Sequence
 __all__ = [
     "ConfidenceInterval",
     "StoppingRule",
+    "average_ranks",
     "normal_quantile",
+    "spearman_rho",
     "student_t_quantile",
     "t_interval",
     "wilson_interval",
@@ -281,6 +283,56 @@ def t_interval(values: Sequence[float],
               * sqrt(variance / n))
     return ConfidenceInterval(point=mean, low=mean - margin,
                               high=mean + margin, confidence=confidence)
+
+
+def average_ranks(values: Sequence[float]) -> Sequence[float]:
+    """Fractional (average) ranks of ``values``, 1-based.
+
+    Ties receive the mean of the positions they span — the standard
+    mid-rank convention, which is what makes Spearman's coefficient
+    well-defined on data with repeated values (per-site failure counts
+    are small integers, so ties are the common case, not the exception).
+    """
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    start = 0
+    while start < len(order):
+        stop = start
+        while (stop + 1 < len(order)
+               and values[order[stop + 1]] == values[order[start]]):
+            stop += 1
+        # Positions start..stop (0-based) share the mid-rank.
+        rank = (start + stop) / 2.0 + 1.0
+        for position in range(start, stop + 1):
+            ranks[order[position]] = rank
+        start = stop + 1
+    return ranks
+
+
+def spearman_rho(xs: Sequence[float],
+                 ys: Sequence[float]) -> Optional[float]:
+    """Spearman rank correlation of two paired samples.
+
+    Computed as the Pearson correlation of the mid-rank vectors (exact
+    in the presence of ties, unlike the ``1 - 6*Σd²/…`` shortcut).
+    Returns ``None`` when the coefficient is undefined: fewer than two
+    pairs, or either sample constant (zero rank variance).
+    """
+    if len(xs) != len(ys):
+        raise ValueError(
+            f"paired samples must match in length, got {len(xs)} and {len(ys)}")
+    n = len(xs)
+    if n < 2:
+        return None
+    rx = average_ranks(xs)
+    ry = average_ranks(ys)
+    mean = (n + 1) / 2.0
+    covariance = sum((a - mean) * (b - mean) for a, b in zip(rx, ry))
+    variance_x = sum((a - mean) ** 2 for a in rx)
+    variance_y = sum((b - mean) ** 2 for b in ry)
+    if variance_x == 0.0 or variance_y == 0.0:
+        return None
+    return covariance / sqrt(variance_x * variance_y)
 
 
 # ----------------------------------------------------------------------

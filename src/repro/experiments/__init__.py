@@ -33,6 +33,7 @@ from .tables import (
     table2_catastrophic_failures,
     table3_low_reliability_instructions,
     table4_fault_models,
+    table5_static_vs_dynamic,
 )
 
 __all__ = [
@@ -59,6 +60,7 @@ __all__ = [
     "table2_catastrophic_failures",
     "table3_low_reliability_instructions",
     "table4_fault_models",
+    "table5_static_vs_dynamic",
 ]
 
 

@@ -12,14 +12,20 @@ Beyond the paper:
 * Table 4 — outcome breakdown of the same operating point under every
   registered fault model (:mod:`repro.sim.models`), the reproduction's
   generalisation of the injection axis.
+* Table 5 — validation of the static susceptibility oracle
+  (:mod:`repro.analysis`): Spearman rank correlation between static
+  per-site score and per-site failure rates measured by attributing a
+  stored campaign's single-error runs back to the sites they corrupted.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
 
+from ..analysis import attribute_first_flips, build_report
 from ..apps import APP_ORDER, TABLE1_FIDELITY
 from ..core import CampaignConfig, CampaignRunner, ShardStore, TableData
+from ..core.stats import spearman_rho
 from ..sim import MODEL_NAMES, ProtectionMode, get_model
 from .config import ExperimentConfig, default, store_confidence
 
@@ -211,5 +217,97 @@ def table3_low_reliability_instructions(
             golden.executed,
             100.0 * golden.result.statistics.tagged_fraction,
             100.0 * report.static_tagged_fraction,
+        ])
+    return table
+
+
+def table5_static_vs_dynamic(
+    config: Optional[ExperimentConfig] = None,
+    apps: Optional[Sequence[str]] = None,
+    store: Optional[ShardStore] = None,
+    errors: int = 1,
+    mode: ProtectionMode = ProtectionMode.UNPROTECTED,
+) -> TableData:
+    """Table 5: does the static susceptibility oracle predict outcomes?
+
+    Joins the static per-site scores (:func:`repro.analysis.build_report`)
+    against *measured* per-site outcomes from a stored campaign cell:
+    every single-error run's injection plan is re-derived from the
+    store's pinned ``base_seed``, its first (and only) flip attributed to
+    the exact static site it corrupted, and the sites' measured *impact*
+    rates — catastrophic (crash/hang) plus completed-but-degraded runs,
+    the dynamic counterpart of the oracle's "visible use" estimate —
+    rank-correlated with their static scores
+    (:func:`~repro.core.stats.spearman_rho`).  A positive rho means
+    statically higher-ranked sites really do hurt more often — the
+    falsifiable claim behind rank-budgeted protection.
+
+    Only works from a shard store (attribution needs the exact seeds the
+    records were produced with, which ``meta.json`` pins): run
+    ``python -m repro sweep --errors 1`` first.  ``errors`` selects which
+    single-error cell to attribute and must be 1 — multi-error runs
+    cannot be attributed exactly (see :mod:`repro.analysis.attribution`).
+    """
+    config = config or default()
+    if store is None:
+        raise ValueError(
+            "table 5 attributes stored campaign records to static sites and "
+            "cannot run from live simulation; build a store with "
+            "`python -m repro sweep --errors 1` and pass --store")
+    if errors != 1:
+        raise ValueError(
+            f"table 5 requires single-error cells (errors=1, got {errors}); "
+            f"only the first flip of a run is exactly attributable")
+    meta = store.read_meta() or {}
+    model = meta.get("model", store.model)
+    base_seed = meta.get("base_seed", config.base_seed)
+    suite_name = meta.get("suite", config.suite_name)
+    suite = ExperimentConfig(suite_name=suite_name).suite()
+    names = list(apps) if apps is not None else list(APP_ORDER)
+
+    table = TableData(
+        title="Table 5: static susceptibility rank vs measured failures "
+              f"({mode.value}, {errors} error per run)",
+        headers=["Application", "Runs", "Sites hit", "Failures", "Degraded",
+                 "Spearman rho", "Top-quartile capture %"],
+        notes=[f"store={store.root}, model={model!r}, suite={suite_name!r}, "
+               f"base_seed={base_seed}",
+               "each run's first flip is attributed to its exact static site "
+               "by replaying the golden exposure stream",
+               "rho rank-correlates static score with per-site impact rate "
+               "(catastrophic + degraded) over the hit sites; '-' means "
+               "undefined (constant ranks)",
+               "capture % = share of impacted runs at sites the oracle ranks "
+               "in its top quartile"],
+    )
+    for name in names:
+        app = suite[name]
+        campaign = store.load_campaign(name, mode, errors,
+                                       expect_runs=config.runs_per_cell)
+        tallies, skipped = attribute_first_flips(
+            app, campaign.records, mode, base_seed, model=model)
+        if skipped:
+            table.notes.append(
+                f"{name}: {skipped} record(s) not attributable "
+                f"(multi-error/other-mode) and excluded")
+        report = build_report(app, suite=suite_name, model=model)
+        scores = report.site_scores()
+        hit_sites = sorted(tallies)
+        rho = spearman_rho([scores[site] for site in hit_sites],
+                           [tallies[site].impact_rate for site in hit_sites])
+        impacts = sum(tallies[site].impacts for site in hit_sites)
+        quartile = {site.index for site
+                    in report.top_sites(max(1, len(report.sites) // 4))}
+        captured = sum(tallies[site].impacts for site in hit_sites
+                       if site in quartile)
+        capture_percent = (100.0 * captured / impacts if impacts else None)
+        table.add_row([
+            name,
+            sum(tallies[site].hits for site in hit_sites),
+            len(hit_sites),
+            sum(tallies[site].failures for site in hit_sites),
+            sum(tallies[site].degraded for site in hit_sites),
+            rho,
+            capture_percent,
         ])
     return table

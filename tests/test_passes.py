@@ -251,3 +251,161 @@ class TestControlTagging:
         conservative_report = tag_control_data(program_b, track_memory=True,
                                                 protect_addresses=True)
         assert conservative_report.static_tagged <= default_report.static_tagged
+
+
+# ----------------------------------------------------------------------
+# Property tests: the worklist fixpoints agree with a brute-force
+# per-path oracle on randomized small CFGs.
+# ----------------------------------------------------------------------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.passes import compute_def_use
+
+#: Register pool for generated programs (well away from $0/$sp/$fp).
+_REGS = [R(8), R(9), R(10), R(11)]
+
+
+@st.composite
+def _small_programs(draw):
+    """A random single-function program: arithmetic + branches, no calls.
+
+    Branches may jump forward or backward to any emitted label, so the
+    generated CFGs include loops, unreachable tails and diamonds — the
+    shapes that shake out iteration-order bugs in worklist solvers.
+    """
+    length = draw(st.integers(min_value=3, max_value=12))
+    label_slots = draw(st.lists(st.integers(min_value=0, max_value=length - 1),
+                                max_size=3, unique=True))
+    slots = []
+    for _ in range(length):
+        kinds = ["add", "addi", "mul", "li"]
+        if label_slots:
+            kinds.append("branch")
+        kind = draw(st.sampled_from(kinds))
+        if kind == "branch":
+            slots.append((kind, draw(st.sampled_from(_REGS)),
+                          draw(st.sampled_from(_REGS)),
+                          draw(st.sampled_from(sorted(label_slots)))))
+        else:
+            slots.append((kind, draw(st.sampled_from(_REGS)),
+                          draw(st.sampled_from(_REGS)),
+                          draw(st.sampled_from(_REGS))))
+
+    builder = ProgramBuilder()
+    with builder.function("main"):
+        for slot, (kind, a, b, c) in enumerate(slots):
+            if slot in label_slots:
+                builder.label(f"L{slot}")
+            if kind == "add":
+                builder.add(a, b, c)
+            elif kind == "mul":
+                builder.mul(a, b, c)
+            elif kind == "addi":
+                builder.addi(a, b, 1)
+            elif kind == "li":
+                builder.li(a, 7)
+            else:
+                builder.bne(a, b, f"L{c}")
+        builder.halt()
+    return builder.build()
+
+
+def _successors(program):
+    """Instruction-level successor lists, straight from the ISA semantics
+    (independent of the CFG builder under test)."""
+    successors = []
+    for index, instruction in enumerate(program.instructions):
+        if instruction.op is Opcode.HALT:
+            successors.append([])
+        elif instruction.info.is_branch:
+            successors.append(sorted({program.labels[instruction.label],
+                                      index + 1}))
+        elif instruction.op is Opcode.J:
+            successors.append([program.labels[instruction.label]])
+        else:
+            successors.append([index + 1])
+    return successors
+
+
+def _brute_live_out(program, successors, index, register):
+    """May-liveness by explicit DFS over simple paths.
+
+    ``register`` is live-out of ``index`` iff some path from a successor
+    reaches a use of it before any redefinition.  A shortest witness
+    path never repeats a node, so restricting the search to simple paths
+    is exact.
+    """
+    def reaches_use(node, path):
+        instruction = program.instructions[node]
+        if register in instruction.uses():
+            return True
+        if register in instruction.defs():
+            return False
+        return any(reaches_use(successor, path | {successor})
+                   for successor in successors[node] if successor not in path)
+
+    return any(reaches_use(successor, {successor})
+               for successor in successors[index])
+
+
+def _brute_chain(program, successors, def_index, register):
+    """Reached uses of one definition by explicit DFS over simple paths."""
+    reached = set()
+
+    def walk(node, path):
+        instruction = program.instructions[node]
+        if register in instruction.uses():
+            reached.add(node)
+        if register in instruction.defs():
+            return
+        for successor in successors[node]:
+            if successor not in path:
+                walk(successor, path | {successor})
+
+    for successor in successors[def_index]:
+        walk(successor, {successor})
+    return reached
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(_small_programs())
+def test_liveness_fixpoint_matches_per_path_oracle(program):
+    cfg = build_cfg(program)
+    live_out = compute_liveness(cfg)
+    successors = _successors(program)
+    for index in range(len(program.instructions)):
+        for register in _REGS:
+            expected = _brute_live_out(program, successors, index, register)
+            actual = register in live_out.get(index, set())
+            assert actual == expected, (
+                f"live-out of {register} at {index}: "
+                f"solver={actual} oracle={expected}\n{program.listing()}")
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(_small_programs())
+def test_reaching_definitions_chains_match_per_path_oracle(program):
+    cfg = build_cfg(program)
+    chains = compute_reaching_definitions(cfg)
+    successors = _successors(program)
+    for index, instruction in enumerate(program.instructions):
+        defs = instruction.defs()
+        if not defs:
+            continue
+        expected = _brute_chain(program, successors, index, defs[0])
+        actual = set(chains.get(index, ()))
+        assert actual == expected, (
+            f"def-use chain of {index} ({defs[0]}): "
+            f"solver={sorted(actual)} oracle={sorted(expected)}\n"
+            f"{program.listing()}")
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(_small_programs())
+def test_def_use_facts_reproduce_tagging_on_random_programs(program):
+    """The tentpole equivalence on random CFGs, not just the 7 apps."""
+    defuse = compute_def_use(program)
+    report = tag_control_data(program)
+    assert defuse.tagged_sites() == frozenset(report.tagged_indices)

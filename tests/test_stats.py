@@ -18,7 +18,9 @@ from repro.core import CampaignResult, RunRecord, StoppingRule
 from repro.core.fidelity import FidelityResult
 from repro.core.stats import (
     ConfidenceInterval,
+    average_ranks,
     normal_quantile,
+    spearman_rho,
     student_t_quantile,
     t_interval,
     wilson_interval,
@@ -286,3 +288,58 @@ class TestAggregationEdgeCases:
         assert cell.failure_percent == 30.0
         assert cell.failure_ci() == wilson_interval(3, 10)
         assert cell.acceptable_ci() == wilson_interval(7, 10)
+
+
+class TestAverageRanks:
+    def test_distinct_values(self):
+        assert average_ranks([30.0, 10.0, 20.0]) == [3.0, 1.0, 2.0]
+
+    def test_ties_get_mid_ranks(self):
+        assert average_ranks([1.0, 1.0, 2.0]) == [1.5, 1.5, 3.0]
+        assert average_ranks([5.0, 5.0, 5.0]) == [2.0, 2.0, 2.0]
+
+    def test_empty(self):
+        assert average_ranks([]) == []
+
+
+class TestSpearmanRho:
+    def test_perfect_agreement(self):
+        assert spearman_rho([1, 2, 3, 4], [10, 20, 30, 40]) == 1.0
+
+    def test_perfect_reversal(self):
+        assert spearman_rho([1, 2, 3, 4], [40, 30, 20, 10]) == -1.0
+
+    def test_textbook_value(self):
+        # Ranks (1..5) vs (1,3,2,5,4): d^2 sum = 4, rho = 1 - 24/120 = 0.8.
+        assert spearman_rho([1, 2, 3, 4, 5],
+                            [1, 3, 2, 5, 4]) == pytest.approx(0.8)
+
+    def test_monotone_transform_invariance(self):
+        xs = [0.5, 1.5, 7.0, 9.0]
+        assert spearman_rho(xs, [x ** 3 for x in xs]) == 1.0
+
+    def test_degenerate_inputs_are_none(self):
+        assert spearman_rho([], []) is None
+        assert spearman_rho([1.0], [2.0]) is None
+        assert spearman_rho([3.0, 3.0, 3.0], [1.0, 2.0, 3.0]) is None
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="length"):
+            spearman_rho([1.0, 2.0], [1.0])
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2,
+                    max_size=20))
+    def test_self_correlation_is_one_or_none(self, values):
+        rho = spearman_rho(values, values)
+        assert rho is None or rho == pytest.approx(1.0)
+
+    @given(st.lists(st.tuples(st.floats(min_value=-1e6, max_value=1e6),
+                              st.floats(min_value=-1e6, max_value=1e6)),
+                    min_size=2, max_size=20))
+    def test_bounded_and_symmetric(self, pairs):
+        xs = [pair[0] for pair in pairs]
+        ys = [pair[1] for pair in pairs]
+        rho = spearman_rho(xs, ys)
+        if rho is not None:
+            assert -1.0 - 1e-9 <= rho <= 1.0 + 1e-9
+            assert spearman_rho(ys, xs) == pytest.approx(rho)
